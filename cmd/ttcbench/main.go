@@ -1,0 +1,69 @@
+// Command ttcbench reproduces the paper's evaluation artifacts: Table II
+// (graph sizes per scale factor) and the Fig. 5 execution-time series for
+// both queries, both phases, and all six tool configurations.
+//
+// Usage:
+//
+//	ttcbench -table2 -maxsf 1024
+//	ttcbench -fig5 -maxsf 64 -runs 5 -threads 8
+//	ttcbench -fig5 -queries Q2 -maxsf 16 -runs 3
+//
+// Table II is cheap at any scale; the Fig. 5 sweep runs every tool, so wall
+// time grows with -maxsf (the batch tools dominate: they re-run the full
+// query per change set).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	var (
+		table2  = flag.Bool("table2", false, "print Table II (graph sizes per scale factor)")
+		fig5    = flag.Bool("fig5", false, "run the Fig. 5 execution-time sweep")
+		maxSF   = flag.Int("maxsf", 16, "largest scale factor (powers of two from 1)")
+		runs    = flag.Int("runs", 5, "repetitions per measurement (geometric mean)")
+		threads = flag.Int("threads", 8, "thread count of the parallel GraphBLAS series")
+		seed    = flag.Int64("seed", 2018, "dataset generator seed")
+		queries = flag.String("queries", "Q1,Q2", "comma-separated queries to benchmark")
+		quiet   = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+	if !*table2 && !*fig5 {
+		fmt.Fprintln(os.Stderr, "nothing to do: pass -table2 and/or -fig5")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var sfs []int
+	for sf := 1; sf <= *maxSF; sf *= 2 {
+		sfs = append(sfs, sf)
+	}
+	if *table2 {
+		fmt.Println("Table II: graph sizes w.r.t. the scale factor")
+		harness.WriteTableII(os.Stdout, harness.TableII(sfs, *seed))
+	}
+	if *fig5 {
+		progress := os.Stderr
+		if *quiet {
+			progress = nil
+		}
+		rows, err := harness.Fig5(harness.Fig5Config{
+			Queries:         strings.Split(*queries, ","),
+			ScaleFactors:    sfs,
+			Seed:            *seed,
+			Runs:            *runs,
+			ParallelThreads: *threads,
+		}, progress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttcbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nFig. 5: execution times (geometric mean of", *runs, "runs)")
+		harness.WriteFig5(os.Stdout, rows)
+	}
+}

@@ -1,0 +1,102 @@
+// Command ttcrun executes one tool on one query over one dataset and prints
+// the per-phase timings and the result of every step — the single-run
+// counterpart of ttcbench, useful for inspecting behaviour and results.
+//
+// The dataset comes from a CSV directory written by ttcgen (-data) or is
+// generated on the fly (-sf/-seed).
+//
+// Usage:
+//
+//	ttcrun -query Q2 -tool incremental -sf 4
+//	ttcrun -query Q1 -tool nmf-batch -data data/sf8 -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/grb"
+	"repro/internal/harness"
+	"repro/internal/model"
+	"repro/internal/nmf"
+)
+
+func factories(query string) map[string]harness.Factory {
+	switch query {
+	case "Q1":
+		return map[string]harness.Factory{
+			"batch":           func() core.Solution { return core.NewQ1Batch() },
+			"incremental":     func() core.Solution { return core.NewQ1Incremental() },
+			"nmf-batch":       func() core.Solution { return nmf.NewQ1Batch() },
+			"nmf-incremental": func() core.Solution { return nmf.NewQ1Incremental() },
+		}
+	case "Q2":
+		return map[string]harness.Factory{
+			"batch":           func() core.Solution { return core.NewQ2Batch() },
+			"incremental":     func() core.Solution { return core.NewQ2Incremental() },
+			"incremental-cc":  func() core.Solution { return core.NewQ2IncrementalCC() },
+			"nmf-batch":       func() core.Solution { return nmf.NewQ2Batch() },
+			"nmf-incremental": func() core.Solution { return nmf.NewQ2Incremental() },
+		}
+	default:
+		return nil
+	}
+}
+
+func main() {
+	var (
+		query   = flag.String("query", "Q1", "query to run: Q1 or Q2")
+		tool    = flag.String("tool", "incremental", "tool: batch, incremental, incremental-cc (Q2), nmf-batch, nmf-incremental")
+		data    = flag.String("data", "", "dataset directory (from ttcgen); empty generates")
+		sf      = flag.Int("sf", 1, "scale factor when generating")
+		seed    = flag.Int64("seed", 2018, "generator seed when generating")
+		threads = flag.Int("threads", 1, "GraphBLAS thread count")
+		verbose = flag.Bool("v", false, "print the result of every step")
+	)
+	flag.Parse()
+
+	fs := factories(*query)
+	if fs == nil {
+		fmt.Fprintf(os.Stderr, "ttcrun: unknown query %q\n", *query)
+		os.Exit(2)
+	}
+	f, ok := fs[*tool]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "ttcrun: unknown tool %q for %s\n", *tool, *query)
+		os.Exit(2)
+	}
+
+	var d *model.Dataset
+	if *data != "" {
+		var err error
+		d, err = model.ReadDataset(*data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttcrun:", err)
+			os.Exit(1)
+		}
+	} else {
+		d = datagen.Generate(datagen.Config{ScaleFactor: *sf, Seed: *seed})
+	}
+
+	grb.SetThreads(*threads)
+	m, err := harness.RunOnce(f, d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttcrun:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s %s (%d threads): %s\n", *query, *tool, *threads, datagen.Describe(d))
+	fmt.Printf("  load:              %v\n", m.Load)
+	fmt.Printf("  initial:           %v\n", m.Initial)
+	fmt.Printf("  update+reeval sum: %v over %d change sets\n", m.UpdateTotal(), len(m.Updates))
+	if *verbose {
+		fmt.Printf("  initial result:    %s\n", m.Results[0])
+		for i, r := range m.Results[1:] {
+			fmt.Printf("  after change %02d:   %s\n", i+1, r)
+		}
+	} else {
+		fmt.Printf("  final result:      %s\n", m.Results[len(m.Results)-1])
+	}
+}

@@ -1,0 +1,12 @@
+// Package repro reproduces "An incremental GraphBLAS solution for the 2018
+// TTC Social Media case study" (Elekes & Szárnyas) in pure Go: a GraphBLAS
+// engine (internal/grb), a LAGraph-style algorithm layer (internal/lagraph),
+// the Social Media case model and synthetic data generator (internal/model,
+// internal/datagen), the paper's batch and incremental query engines
+// (internal/core), the NMF-style reference baseline (internal/nmf), and the
+// TTC benchmark harness (internal/harness). See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+//
+// The root package holds the benchmark suite (bench_test.go) regenerating
+// every table and figure of the paper's evaluation.
+package repro

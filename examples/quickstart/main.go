@@ -1,0 +1,70 @@
+// Quickstart: a tour of the grb sparse linear algebra API — building
+// matrices, semiring products, element-wise ops, masks, reductions and
+// pending tuples — the GraphBLAS vocabulary the Social Media solution is
+// written in.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/grb"
+)
+
+func main() {
+	// A small directed graph as a boolean adjacency matrix:
+	//   0 → 1, 0 → 2, 1 → 2, 2 → 3.
+	a, err := grb.MatrixFromTuples(4, 4,
+		[]grb.Index{0, 0, 1, 2},
+		[]grb.Index{1, 2, 2, 3},
+		[]bool{true, true, true, true}, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("A: %d×%d with %d entries\n", a.NRows(), a.NCols(), a.NVals())
+
+	// Vertex 0's out-neighbours: one boolean vector-matrix product over the
+	// (∨, ∧) semiring.
+	frontier := grb.NewVector[bool](4)
+	grb.Must0(frontier.SetElement(0, true))
+	next := grb.Must(grb.VxM(grb.OrAnd(), frontier, a))
+	ind, _ := next.ExtractTuples()
+	fmt.Println("neighbours of 0:", ind)
+
+	// Two-hop reachability: A² over the same semiring.
+	a2 := grb.Must(grb.MxM(grb.OrAnd(), a, a))
+	fmt.Println("two-hop pairs:")
+	a2.Iterate(func(i, j grb.Index, _ bool) bool {
+		fmt.Printf("  %d → %d\n", i, j)
+		return true
+	})
+
+	// Weighted arithmetic: out-degrees via a plus-reduction with the
+	// cast-to-1 trick (GraphBLAS would typecast bool→int implicitly).
+	deg := grb.Must(grb.ReduceRows(grb.PlusMonoid[int](), grb.One[bool, int], a))
+	deg.Iterate(func(i grb.Index, d int) bool {
+		fmt.Printf("out-degree of %d: %d\n", i, d)
+		return true
+	})
+
+	// Element-wise: scale the degrees by 10 (GrB_apply), then add a sparse
+	// bonus vector (GrB_eWiseAdd is a set union).
+	scaled := grb.ApplyV(func(x int) int { return 10 * x }, deg)
+	bonus, _ := grb.VectorFromTuples(4, []grb.Index{2, 3}, []int{5, 7}, nil)
+	total := grb.Must(grb.EWiseAddV(grb.Plus[int], scaled, bonus))
+	fmt.Println("10·deg ⊕ bonus:")
+	total.Iterate(func(i grb.Index, x int) bool {
+		fmt.Printf("  [%d] = %d\n", i, x)
+		return true
+	})
+
+	// Masking: keep only the positions where the bonus vector has entries.
+	masked := grb.Must(grb.MaskV(total, bonus, false))
+	fmt.Println("masked to bonus positions:", masked.NVals(), "entries")
+
+	// Pending tuples: updates buffer in O(1) and assemble lazily — the
+	// mechanism that makes the incremental Social Media solution cheap.
+	grb.Must0(a.SetElement(3, 0, true)) // close the cycle
+	fmt.Println("pending before Wait:", a.NPending())
+	a.Wait()
+	fmt.Println("entries after Wait:", a.NVals())
+}

@@ -1,0 +1,243 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestLessOrdering(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b Entry
+		want bool
+	}{
+		{"higher score first", Entry{ID: 1, Score: 10}, Entry{ID: 2, Score: 5}, true},
+		{"lower score later", Entry{ID: 1, Score: 5}, Entry{ID: 2, Score: 10}, false},
+		{"newer wins ties", Entry{ID: 1, Score: 5, Timestamp: 9}, Entry{ID: 2, Score: 5, Timestamp: 3}, true},
+		{"older loses ties", Entry{ID: 1, Score: 5, Timestamp: 3}, Entry{ID: 2, Score: 5, Timestamp: 9}, false},
+		{"id breaks full ties", Entry{ID: 1, Score: 5, Timestamp: 3}, Entry{ID: 2, Score: 5, Timestamp: 3}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Less(tc.a, tc.b); got != tc.want {
+				t.Fatalf("Less(%+v, %+v) = %v, want %v", tc.a, tc.b, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRankerKeepsBestK(t *testing.T) {
+	r := NewTopK(3)
+	for _, e := range []Entry{
+		{ID: 1, Score: 5}, {ID: 2, Score: 9}, {ID: 3, Score: 1},
+		{ID: 4, Score: 7}, {ID: 5, Score: 9, Timestamp: 1},
+	} {
+		r.Consider(e)
+	}
+	got := r.Result()
+	// 5 (score 9, newer), 2 (score 9), 4 (score 7).
+	want := []model.ID{5, 2, 4}
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i, id := range want {
+		if got[i].ID != id {
+			t.Fatalf("rank %d = %+v, want id %d (full %v)", i, got[i], id, got)
+		}
+	}
+}
+
+func TestRankerFewerThanK(t *testing.T) {
+	r := NewTopK(3)
+	r.Consider(Entry{ID: 1, Score: 2})
+	r.Consider(Entry{ID: 2, Score: 5})
+	got := r.Result()
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 1 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRankerDuplicateScoresStable(t *testing.T) {
+	r := NewTopK(2)
+	for id := model.ID(1); id <= 5; id++ {
+		r.Consider(Entry{ID: id, Score: 1})
+	}
+	got := r.Result()
+	// All tie on score and timestamp → ascending id.
+	if got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Result{{ID: 7}, {ID: 8}, {ID: 9}}
+	if r.String() != "7|8|9" {
+		t.Fatalf("String = %q", r.String())
+	}
+	if len(Result{}.String()) != 0 {
+		t.Fatal("empty result must render empty")
+	}
+}
+
+func TestResultIDs(t *testing.T) {
+	r := Result{{ID: 3}, {ID: 1}}
+	ids := r.IDs()
+	if len(ids) != 2 || ids[0] != 3 || ids[1] != 1 {
+		t.Fatalf("IDs = %v", ids)
+	}
+}
+
+func TestLoadGraphRejectsDanglingReferences(t *testing.T) {
+	bad := []*model.Snapshot{
+		{Comments: []model.Comment{{ID: 1, PostID: 99, ParentID: 99}}},
+		{
+			Posts:    []model.Post{{ID: 1}},
+			Comments: []model.Comment{{ID: 1, PostID: 1, ParentID: 1}},
+			Likes:    []model.Like{{UserID: 42, CommentID: 1}},
+		},
+		{
+			Users: []model.User{{ID: 1}},
+			Likes: []model.Like{{UserID: 1, CommentID: 42}},
+		},
+		{
+			Users:       []model.User{{ID: 1}},
+			Friendships: []model.Friendship{{User1: 1, User2: 42}},
+		},
+	}
+	for i, s := range bad {
+		if _, err := loadGraph(s); err == nil {
+			t.Fatalf("snapshot %d: expected load error", i)
+		}
+	}
+}
+
+func TestApplyRejectsDanglingReferences(t *testing.T) {
+	d := model.ExampleDataset()
+	g, err := loadGraph(d.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []model.Change{
+		{Kind: model.KindAddComment, Comment: model.Comment{ID: 999, PostID: 888}},
+		{Kind: model.KindAddLike, Like: model.Like{UserID: model.U1, CommentID: 888}},
+		{Kind: model.KindAddLike, Like: model.Like{UserID: 888, CommentID: model.C1}},
+		{Kind: model.KindAddFriendship, Friendship: model.Friendship{User1: model.U1, User2: 888}},
+	}
+	for i, ch := range bad {
+		if _, err := g.apply(&model.ChangeSet{Changes: []model.Change{ch}}); err == nil {
+			t.Fatalf("change %d: expected apply error", i)
+		}
+	}
+}
+
+func TestEnginesOnEmptySnapshot(t *testing.T) {
+	empty := &model.Snapshot{}
+	for _, eng := range append(q1Engines(), q2Engines()...) {
+		if err := eng.Load(empty); err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		res, err := eng.Initial()
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if len(res) != 0 {
+			t.Fatalf("%s: result on empty graph = %v", eng.Name(), res)
+		}
+	}
+}
+
+func TestEnginesWithEmptyChangeSet(t *testing.T) {
+	d := model.ExampleDataset()
+	for _, eng := range append(q1Engines(), q2Engines()...) {
+		if err := eng.Load(d.Snapshot); err != nil {
+			t.Fatal(err)
+		}
+		first, err := eng.Initial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Update(&model.ChangeSet{})
+		if err != nil {
+			t.Fatalf("%s: empty update failed: %v", eng.Name(), err)
+		}
+		assertResultsEqual(t, eng.Name(), "empty-update", first, res)
+	}
+}
+
+func TestEnginesNewPostOnlyChangeSet(t *testing.T) {
+	// A change set adding only a post: Q1 must rank the new zero-score post
+	// among candidates (it can enter the top-3 by recency on tie).
+	d := model.ExampleDataset()
+	cs := model.ChangeSet{Changes: []model.Change{
+		{Kind: model.KindAddPost, Post: model.Post{ID: 555, Timestamp: 99}},
+	}}
+	for _, eng := range q1Engines() {
+		if err := eng.Load(d.Snapshot); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Initial(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Update(&cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 3 || res[2].ID != 555 || res[2].Score != 0 {
+			t.Fatalf("%s: %v, want new post 555 ranked third with score 0", eng.Name(), res)
+		}
+	}
+}
+
+func TestQ2NewUserThenLikeAcrossChangeSets(t *testing.T) {
+	// A user added in one change set likes a comment in the next.
+	d := model.ExampleDataset()
+	cs1 := model.ChangeSet{Changes: []model.Change{
+		{Kind: model.KindAddUser, User: model.User{ID: 500}},
+	}}
+	cs2 := model.ChangeSet{Changes: []model.Change{
+		{Kind: model.KindAddLike, Like: model.Like{UserID: 500, CommentID: model.C3}},
+	}}
+	for _, eng := range q2Engines() {
+		if err := eng.Load(d.Snapshot); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Initial(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Update(&cs1); err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		res, err := eng.Update(&cs2)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		// c3 now has one liker → score 1; ranking: c2=5, c1=4, c3=1.
+		if res[2].ID != model.C3 || res[2].Score != 1 {
+			t.Fatalf("%s: %v, want c3 third with score 1", eng.Name(), res)
+		}
+	}
+}
+
+func TestQ2DuplicateLikeIsIdempotent(t *testing.T) {
+	// Re-inserting an existing like must not change scores (boolean
+	// structure); all engines must agree.
+	d := model.ExampleDataset()
+	dup := model.ChangeSet{Changes: []model.Change{
+		{Kind: model.KindAddLike, Like: model.Like{UserID: model.U2, CommentID: model.C1}},
+	}}
+	for _, eng := range q2Engines() {
+		if err := eng.Load(d.Snapshot); err != nil {
+			t.Fatal(err)
+		}
+		first, err := eng.Initial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Update(&dup)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		assertResultsEqual(t, eng.Name(), "dup-like", first, res)
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+// The paper's running example (Fig. 3 / Fig. 4) is the primary golden test:
+// every engine must produce the documented scores before and after the
+// update.
+
+func q1Engines() []Solution {
+	return []Solution{NewQ1Batch(), NewQ1Incremental()}
+}
+
+func q2Engines() []Solution {
+	return []Solution{
+		NewQ2Batch(),
+		NewQ2Incremental(),
+		NewQ2IncrementalIncidence(),
+		NewQ2IncrementalCC(),
+	}
+}
+
+func TestQ1ExampleInitialScores(t *testing.T) {
+	d := model.ExampleDataset()
+	for _, eng := range q1Engines() {
+		if err := eng.Load(d.Snapshot); err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		res, err := eng.Initial()
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		// Fig. 3a: p1 = 25, p2 = 10.
+		if len(res) != 2 {
+			t.Fatalf("%s: result %v, want 2 posts", eng.Name(), res)
+		}
+		if res[0].ID != model.P1 || res[0].Score != 25 {
+			t.Fatalf("%s: first = %+v, want p1 score 25", eng.Name(), res[0])
+		}
+		if res[1].ID != model.P2 || res[1].Score != 10 {
+			t.Fatalf("%s: second = %+v, want p2 score 10", eng.Name(), res[1])
+		}
+	}
+}
+
+func TestQ1ExampleUpdatedScores(t *testing.T) {
+	d := model.ExampleDataset()
+	for _, eng := range q1Engines() {
+		if err := eng.Load(d.Snapshot); err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if _, err := eng.Initial(); err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		res, err := eng.Update(&d.ChangeSets[0])
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		// Fig. 4a: scores⁺ = (12, ·), so p1 = 25+12 = 37; p2 unchanged.
+		if res[0].ID != model.P1 || res[0].Score != 37 {
+			t.Fatalf("%s: first = %+v, want p1 score 37", eng.Name(), res[0])
+		}
+		if res[1].ID != model.P2 || res[1].Score != 10 {
+			t.Fatalf("%s: second = %+v, want p2 score 10", eng.Name(), res[1])
+		}
+	}
+}
+
+func TestQ2ExampleInitialScores(t *testing.T) {
+	d := model.ExampleDataset()
+	for _, eng := range q2Engines() {
+		if err := eng.Load(d.Snapshot); err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		res, err := eng.Initial()
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		// Fig. 3a: c2 = 5 (components 1²+2²), c1 = 4 (2²), c3 = 0.
+		if len(res) != 3 {
+			t.Fatalf("%s: result %v, want 3 comments", eng.Name(), res)
+		}
+		want := []struct {
+			id    model.ID
+			score int64
+		}{{model.C2, 5}, {model.C1, 4}, {model.C3, 0}}
+		for i, w := range want {
+			if res[i].ID != w.id || res[i].Score != w.score {
+				t.Fatalf("%s: rank %d = %+v, want id %d score %d", eng.Name(), i, res[i], w.id, w.score)
+			}
+		}
+	}
+}
+
+func TestQ2ExampleUpdatedScores(t *testing.T) {
+	d := model.ExampleDataset()
+	for _, eng := range q2Engines() {
+		if err := eng.Load(d.Snapshot); err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if _, err := eng.Initial(); err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		res, err := eng.Update(&d.ChangeSets[0])
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		// Fig. 3b / Fig. 4b: c2 = 4² = 16, c1 = 4 unchanged, c4 = 1² = 1.
+		want := []struct {
+			id    model.ID
+			score int64
+		}{{model.C2, 16}, {model.C1, 4}, {model.C4, 1}}
+		for i, w := range want {
+			if res[i].ID != w.id || res[i].Score != w.score {
+				t.Fatalf("%s: rank %d = %+v, want id %d score %d", eng.Name(), i, res[i], w.id, w.score)
+			}
+		}
+	}
+}
+
+func TestExampleMatchesOracles(t *testing.T) {
+	// Belt and braces: the documented figures must match the brute-force
+	// oracles too.
+	d := model.ExampleDataset()
+	q1 := oracleQ1(d.Snapshot)
+	if q1[model.P1] != 25 || q1[model.P2] != 10 {
+		t.Fatalf("oracle Q1 initial = %v", q1)
+	}
+	q2 := oracleQ2(d.Snapshot)
+	if q2[model.C1] != 4 || q2[model.C2] != 5 || q2[model.C3] != 0 {
+		t.Fatalf("oracle Q2 initial = %v", q2)
+	}
+	after := d.Snapshot.Clone()
+	after.Apply(&d.ChangeSets[0])
+	q1 = oracleQ1(after)
+	if q1[model.P1] != 37 || q1[model.P2] != 10 {
+		t.Fatalf("oracle Q1 updated = %v", q1)
+	}
+	q2 = oracleQ2(after)
+	if q2[model.C1] != 4 || q2[model.C2] != 16 || q2[model.C4] != 1 {
+		t.Fatalf("oracle Q2 updated = %v", q2)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"repro/internal/lagraph"
+	"repro/internal/model"
+)
+
+// Brute-force reference implementations of the query definitions, computed
+// straight off a snapshot. Every engine is validated against these.
+
+// oracleQ1 returns each post's score by the verbal definition: 10 × the
+// number of (direct or indirect) comments plus the number of likes those
+// comments received.
+func oracleQ1(s *model.Snapshot) map[model.ID]int64 {
+	scores := make(map[model.ID]int64, len(s.Posts))
+	for _, p := range s.Posts {
+		scores[p.ID] = 0
+	}
+	commentPost := make(map[model.ID]model.ID, len(s.Comments))
+	for _, c := range s.Comments {
+		commentPost[c.ID] = c.PostID
+		scores[c.PostID] += 10
+	}
+	for _, l := range s.Likes {
+		scores[commentPost[l.CommentID]]++
+	}
+	return scores
+}
+
+// oracleQ2 returns each comment's score by the verbal definition: the sum
+// of squared connected-component sizes over the friendship subgraph induced
+// by the users who like the comment.
+func oracleQ2(s *model.Snapshot) map[model.ID]int64 {
+	likers := make(map[model.ID][]model.ID, len(s.Comments))
+	for _, l := range s.Likes {
+		likers[l.CommentID] = append(likers[l.CommentID], l.UserID)
+	}
+	scores := make(map[model.ID]int64, len(s.Comments))
+	for _, c := range s.Comments {
+		us := likers[c.ID]
+		if len(us) == 0 {
+			scores[c.ID] = 0
+			continue
+		}
+		local := make(map[model.ID]int, len(us))
+		for i, u := range us {
+			local[u] = i
+		}
+		d := lagraph.NewDSU(len(us))
+		for _, f := range s.Friendships {
+			a, okA := local[f.User1]
+			b, okB := local[f.User2]
+			if okA && okB {
+				d.Union(a, b)
+			}
+		}
+		scores[c.ID] = d.SumSquaredComponentSizes()
+	}
+	return scores
+}
+
+// oracleTopK ranks entities by the shared ordering rule.
+func oracleTopK(scores map[model.ID]int64, ts map[model.ID]int64, k int) Result {
+	t := NewTopK(k)
+	for id, score := range scores {
+		t.Consider(Entry{ID: id, Score: score, Timestamp: ts[id]})
+	}
+	return t.Result()
+}
+
+// timestamps extracts the entity-id → timestamp maps of a snapshot.
+func timestamps(s *model.Snapshot) (posts, comments map[model.ID]int64) {
+	posts = make(map[model.ID]int64, len(s.Posts))
+	for _, p := range s.Posts {
+		posts[p.ID] = p.Timestamp
+	}
+	comments = make(map[model.ID]int64, len(s.Comments))
+	for _, c := range s.Comments {
+		comments[c.ID] = c.Timestamp
+	}
+	return posts, comments
+}

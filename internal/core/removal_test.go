@@ -1,0 +1,153 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/model"
+)
+
+// Removal support is the paper's future-work workload ("more realistic
+// update operations, including both insertions and removals"). These tests
+// pin golden values on the worked example and run the full engine×oracle
+// equivalence over mixed insert/remove streams.
+
+func TestQ1RemoveLikeGolden(t *testing.T) {
+	d := model.ExampleDataset()
+	unlike := model.ChangeSet{Changes: []model.Change{
+		{Kind: model.KindRemoveLike, Like: model.Like{UserID: model.U1, CommentID: model.C2}},
+	}}
+	for _, eng := range q1Engines() {
+		if err := eng.Load(d.Snapshot); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Initial(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Update(&unlike)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		// p1 loses one like: 25 → 24.
+		if res[0].ID != model.P1 || res[0].Score != 24 {
+			t.Fatalf("%s: %v, want p1=24", eng.Name(), res)
+		}
+	}
+}
+
+func TestQ2RemoveFriendshipGolden(t *testing.T) {
+	d := model.ExampleDataset()
+	unfriend := model.ChangeSet{Changes: []model.Change{
+		{Kind: model.KindRemoveFriendship, Friendship: model.Friendship{User1: model.U3, User2: model.U4}},
+	}}
+	for _, eng := range q2Engines() {
+		if err := eng.Load(d.Snapshot); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Initial(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Update(&unfriend)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		// c2's {u3,u4} component splits: 1²+2² = 5 → 1+1+1 = 3, so c1 (4)
+		// overtakes c2 (3) — the case the merge-top-3 shortcut cannot
+		// handle and the full re-rank must.
+		if res[0].ID != model.C1 || res[0].Score != 4 {
+			t.Fatalf("%s: %v, want c1=4 first", eng.Name(), res)
+		}
+		if res[1].ID != model.C2 || res[1].Score != 3 {
+			t.Fatalf("%s: %v, want c2=3 second", eng.Name(), res)
+		}
+	}
+}
+
+func TestQ2RemoveLikeGolden(t *testing.T) {
+	d := model.ExampleDataset()
+	unlike := model.ChangeSet{Changes: []model.Change{
+		{Kind: model.KindRemoveLike, Like: model.Like{UserID: model.U3, CommentID: model.C2}},
+	}}
+	for _, eng := range q2Engines() {
+		if err := eng.Load(d.Snapshot); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Initial(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Update(&unlike)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		// c2's likers shrink to {u1, u4}, no friendships among them → 2.
+		if res[0].ID != model.C1 || res[0].Score != 4 {
+			t.Fatalf("%s: %v, want c1=4 first", eng.Name(), res)
+		}
+		if res[1].ID != model.C2 || res[1].Score != 2 {
+			t.Fatalf("%s: %v, want c2=2 second", eng.Name(), res)
+		}
+	}
+}
+
+func TestRemoveThenReAdd(t *testing.T) {
+	// Removing an edge and re-adding it must restore the original scores
+	// in every engine (exercises zombie resurrection in grb and state
+	// rebuilds elsewhere).
+	d := model.ExampleDataset()
+	seq := []model.ChangeSet{
+		{Changes: []model.Change{
+			{Kind: model.KindRemoveFriendship, Friendship: model.Friendship{User1: model.U3, User2: model.U4}},
+			{Kind: model.KindRemoveLike, Like: model.Like{UserID: model.U2, CommentID: model.C1}},
+		}},
+		{Changes: []model.Change{
+			{Kind: model.KindAddFriendship, Friendship: model.Friendship{User1: model.U3, User2: model.U4}},
+			{Kind: model.KindAddLike, Like: model.Like{UserID: model.U2, CommentID: model.C1}},
+		}},
+	}
+	for _, eng := range append(q1Engines(), q2Engines()...) {
+		if err := eng.Load(d.Snapshot); err != nil {
+			t.Fatal(err)
+		}
+		first, err := eng.Initial()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Update(&seq[0]); err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		restored, err := eng.Update(&seq[1])
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		assertResultsEqual(t, eng.Name(), "remove-readd", first, restored)
+	}
+}
+
+func TestEnginesMatchOracleOnMixedWorkload(t *testing.T) {
+	for _, seed := range []int64{1, 5, 2018} {
+		d := datagen.Generate(datagen.Config{
+			ScaleFactor:     1,
+			Seed:            seed,
+			RemovalFraction: 0.35,
+			ChangeSets:      30,
+		})
+		if err := model.Validate(d); err != nil {
+			t.Fatalf("seed %d: generated mixed workload invalid: %v", seed, err)
+		}
+		hasRemoval := false
+		for i := range d.ChangeSets {
+			if d.ChangeSets[i].HasRemovals() {
+				hasRemoval = true
+			}
+		}
+		if !hasRemoval {
+			t.Fatalf("seed %d: mixed workload contains no removals", seed)
+		}
+		runAll(t, d, q1Engines(), true)
+		runAll(t, q2Dataset(d), q2Engines(), false)
+	}
+}
+
+// Cross-validation of the NMF pair on mixed workloads lives in
+// internal/harness (which may import both core and nmf without a cycle):
+// TestCrossValidateMixedWorkload.

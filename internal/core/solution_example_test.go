@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/model"
+)
+
+// Drive the incremental Q1 engine through the paper's worked example: the
+// initial evaluation scores p1 = 25 and p2 = 10 (Fig. 3a); the update adds
+// a comment and two likes under p1, raising it to 37 (Fig. 3b).
+func Example() {
+	d := model.ExampleDataset()
+	engine := core.NewQ1Incremental()
+	if err := engine.Load(d.Snapshot); err != nil {
+		panic(err)
+	}
+	initial, err := engine.Initial()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("initial:", render(initial))
+	updated, err := engine.Update(&d.ChangeSets[0])
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("updated:", render(updated))
+	// Output:
+	// initial: 101=25 102=10
+	// updated: 101=37 102=10
+}
+
+func render(r core.Result) string {
+	s := ""
+	for i, e := range r {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%d=%d", e.ID, e.Score)
+	}
+	return s
+}

@@ -1,0 +1,155 @@
+package dynmat
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grb"
+)
+
+func TestSetGet(t *testing.T) {
+	m := New[int](3, 4)
+	if err := m.SetElement(1, 2, 42); err != nil {
+		t.Fatal(err)
+	}
+	if x, ok, _ := m.GetElement(1, 2); !ok || x != 42 {
+		t.Fatalf("got (%d,%v)", x, ok)
+	}
+	if _, ok, _ := m.GetElement(0, 0); ok {
+		t.Fatal("phantom element")
+	}
+	if m.NVals() != 1 {
+		t.Fatalf("NVals = %d", m.NVals())
+	}
+}
+
+func TestOverwriteKeepsCount(t *testing.T) {
+	m := New[string](2, 2)
+	_ = m.SetElement(0, 0, "a")
+	_ = m.SetElement(0, 0, "b")
+	if m.NVals() != 1 {
+		t.Fatalf("NVals = %d, want 1", m.NVals())
+	}
+	if x, _, _ := m.GetElement(0, 0); x != "b" {
+		t.Fatalf("got %q", x)
+	}
+}
+
+func TestRowsStaySorted(t *testing.T) {
+	m := New[int](1, 100)
+	rng := rand.New(rand.NewSource(1))
+	for k := 0; k < 200; k++ {
+		_ = m.SetElement(0, rng.Intn(100), k)
+	}
+	row := m.Row(0)
+	for i := 1; i < len(row); i++ {
+		if row[i].Col <= row[i-1].Col {
+			t.Fatalf("row not sorted at %d: %v", i, row)
+		}
+	}
+}
+
+func TestBounds(t *testing.T) {
+	m := New[int](2, 2)
+	if err := m.SetElement(2, 0, 1); err == nil {
+		t.Fatal("row oob accepted")
+	}
+	if err := m.SetElement(0, 2, 1); err == nil {
+		t.Fatal("col oob accepted")
+	}
+	if _, _, err := m.GetElement(-1, 0); err == nil {
+		t.Fatal("get oob accepted")
+	}
+}
+
+func TestResize(t *testing.T) {
+	m := New[int](2, 3)
+	_ = m.SetElement(0, 0, 1)
+	_ = m.SetElement(1, 2, 2)
+	if err := m.Resize(3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.NRows() != 3 || m.NCols() != 2 {
+		t.Fatalf("shape %d×%d", m.NRows(), m.NCols())
+	}
+	if m.NVals() != 1 {
+		t.Fatalf("NVals = %d, want 1 ((1,2) dropped)", m.NVals())
+	}
+	if err := m.Resize(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if m.NVals() != 1 {
+		t.Fatalf("NVals = %d after row shrink", m.NVals())
+	}
+}
+
+func TestIterateAndForRow(t *testing.T) {
+	m := New[int](2, 4)
+	_ = m.SetElement(0, 3, 30)
+	_ = m.SetElement(0, 1, 10)
+	_ = m.SetElement(1, 0, 100)
+	var got [][3]int
+	m.Iterate(func(i, j, x int) bool {
+		got = append(got, [3]int{i, j, x})
+		return true
+	})
+	want := [][3]int{{0, 1, 10}, {0, 3, 30}, {1, 0, 100}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Iterate = %v", got)
+	}
+	var cols []int
+	m.ForRow(0, func(j, _ int) { cols = append(cols, j) })
+	if !reflect.DeepEqual(cols, []int{1, 3}) {
+		t.Fatalf("ForRow = %v", cols)
+	}
+}
+
+// Property: dynmat and grb.Matrix agree under identical random update
+// streams — the two updatable-format candidates are interchangeable.
+func TestPropAgreesWithGrbMatrix(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 24
+		dyn := New[int](n, n)
+		csr := grb.NewMatrix[int](n, n)
+		for k := 0; k < 400; k++ {
+			i, j, x := rng.Intn(n), rng.Intn(n), rng.Intn(1000)
+			if err := dyn.SetElement(i, j, x); err != nil {
+				return false
+			}
+			if err := csr.SetElement(i, j, x); err != nil {
+				return false
+			}
+			if k%83 == 0 {
+				csr.Wait()
+			}
+		}
+		if dyn.NVals() != csr.NVals() {
+			return false
+		}
+		same := true
+		csr.Iterate(func(i, j grb.Index, x int) bool {
+			if y, ok, _ := dyn.GetElement(i, j); !ok || y != x {
+				same = false
+				return false
+			}
+			return true
+		})
+		return same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowDegrees(t *testing.T) {
+	m := New[int](3, 3)
+	_ = m.SetElement(0, 0, 1)
+	_ = m.SetElement(0, 1, 1)
+	_ = m.SetElement(2, 2, 1)
+	if !reflect.DeepEqual(m.RowDegrees(), []int{2, 0, 1}) {
+		t.Fatalf("degrees = %v", m.RowDegrees())
+	}
+}

@@ -1,0 +1,113 @@
+package grb
+
+// Concat and Split (GxB_Matrix_concat / GxB_Matrix_split): tile a matrix
+// from a grid of blocks and cut one back apart. Useful for building
+// block-structured systems (e.g. bipartite stacks) and for out-of-core
+// style processing.
+
+// Concat assembles a matrix from a rowBlocks×colBlocks grid of tiles given
+// in row-major order. Tiles in the same block row must agree on row count;
+// tiles in the same block column must agree on column count.
+func Concat[T any](tiles []*Matrix[T], rowBlocks, colBlocks int) (*Matrix[T], error) {
+	if rowBlocks < 1 || colBlocks < 1 || len(tiles) != rowBlocks*colBlocks {
+		return nil, invalidErrf("Concat: %d tiles for a %d×%d grid", len(tiles), rowBlocks, colBlocks)
+	}
+	tile := func(br, bc int) *Matrix[T] { return tiles[br*colBlocks+bc] }
+	rowOff := make([]int, rowBlocks+1)
+	for br := 0; br < rowBlocks; br++ {
+		h := tile(br, 0).nrows
+		for bc := 1; bc < colBlocks; bc++ {
+			if tile(br, bc).nrows != h {
+				return nil, dimErrf("Concat: block row %d has tiles of heights %d and %d",
+					br, h, tile(br, bc).nrows)
+			}
+		}
+		rowOff[br+1] = rowOff[br] + h
+	}
+	colOff := make([]int, colBlocks+1)
+	for bc := 0; bc < colBlocks; bc++ {
+		w := tile(0, bc).ncols
+		for br := 1; br < rowBlocks; br++ {
+			if tile(br, bc).ncols != w {
+				return nil, dimErrf("Concat: block column %d has tiles of widths %d and %d",
+					bc, w, tile(br, bc).ncols)
+			}
+		}
+		colOff[bc+1] = colOff[bc] + w
+	}
+	c := NewMatrix[T](rowOff[rowBlocks], colOff[colBlocks])
+	rowCols := make([][]Index, c.nrows)
+	rowVals := make([][]T, c.nrows)
+	for br := 0; br < rowBlocks; br++ {
+		for bc := 0; bc < colBlocks; bc++ {
+			t := tile(br, bc)
+			t.Wait()
+			for i := 0; i < t.nrows; i++ {
+				gi := rowOff[br] + i
+				for p := t.rowPtr[i]; p < t.rowPtr[i+1]; p++ {
+					rowCols[gi] = append(rowCols[gi], colOff[bc]+t.colInd[p])
+					rowVals[gi] = append(rowVals[gi], t.val[p])
+				}
+			}
+		}
+	}
+	stitchRows(c, rowCols, rowVals)
+	return c, nil
+}
+
+// Split cuts a into tiles with the given row and column sizes (which must
+// sum to a's shape), returned in row-major grid order.
+func Split[T any](a *Matrix[T], rowSizes, colSizes []int) ([]*Matrix[T], error) {
+	sumR := 0
+	for _, r := range rowSizes {
+		if r < 0 {
+			return nil, invalidErrf("Split: negative row size %d", r)
+		}
+		sumR += r
+	}
+	sumC := 0
+	for _, c := range colSizes {
+		if c < 0 {
+			return nil, invalidErrf("Split: negative column size %d", c)
+		}
+		sumC += c
+	}
+	if sumR != a.nrows || sumC != a.ncols {
+		return nil, dimErrf("Split: sizes sum to %d×%d but matrix is %d×%d",
+			sumR, sumC, a.nrows, a.ncols)
+	}
+	a.Wait()
+	colOff := make([]int, len(colSizes)+1)
+	for k, c := range colSizes {
+		colOff[k+1] = colOff[k] + c
+	}
+	tiles := make([]*Matrix[T], len(rowSizes)*len(colSizes))
+	rowBase := 0
+	for br, h := range rowSizes {
+		grid := make([][][]Index, len(colSizes))
+		gridV := make([][][]T, len(colSizes))
+		for bc := range colSizes {
+			grid[bc] = make([][]Index, h)
+			gridV[bc] = make([][]T, h)
+		}
+		for i := 0; i < h; i++ {
+			gi := rowBase + i
+			bc := 0
+			for p := a.rowPtr[gi]; p < a.rowPtr[gi+1]; p++ {
+				j := a.colInd[p]
+				for j >= colOff[bc+1] {
+					bc++
+				}
+				grid[bc][i] = append(grid[bc][i], j-colOff[bc])
+				gridV[bc][i] = append(gridV[bc][i], a.val[p])
+			}
+		}
+		for bc, w := range colSizes {
+			t := NewMatrix[T](h, w)
+			stitchRows(t, grid[bc], gridV[bc])
+			tiles[br*len(colSizes)+bc] = t
+		}
+		rowBase += h
+	}
+	return tiles, nil
+}

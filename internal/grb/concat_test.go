@@ -1,0 +1,75 @@
+package grb
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestConcatSplitRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := randomMatrix(rng, 30, 40, 200)
+	tiles, err := Split(a, []int{10, 20}, []int{25, 5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tiles) != 6 {
+		t.Fatalf("tiles = %d", len(tiles))
+	}
+	back, err := Concat(tiles, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatricesEqual(t, a, back)
+}
+
+func TestConcatBlockStructure(t *testing.T) {
+	a := mustMatrix(t, 1, 1, []Index{0}, []Index{0}, []int{1})
+	b := mustMatrix(t, 1, 2, []Index{0}, []Index{1}, []int{2})
+	c := mustMatrix(t, 2, 1, []Index{1}, []Index{0}, []int{3})
+	d := mustMatrix(t, 2, 2, []Index{0}, []Index{0}, []int{4})
+	m, err := Concat([]*Matrix[int]{a, b, c, d}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NRows() != 3 || m.NCols() != 3 {
+		t.Fatalf("shape %d×%d", m.NRows(), m.NCols())
+	}
+	checks := []struct {
+		i, j Index
+		v    int
+	}{{0, 0, 1}, {0, 2, 2}, {2, 0, 3}, {1, 1, 4}}
+	for _, ck := range checks {
+		if x, ok, _ := m.GetElement(ck.i, ck.j); !ok || x != ck.v {
+			t.Fatalf("m(%d,%d) = (%d,%v), want %d", ck.i, ck.j, x, ok, ck.v)
+		}
+	}
+}
+
+func TestConcatErrors(t *testing.T) {
+	a := NewMatrix[int](2, 2)
+	b := NewMatrix[int](3, 2) // wrong height for the same block row
+	if _, err := Concat([]*Matrix[int]{a, b}, 1, 2); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("height mismatch: %v", err)
+	}
+	c := NewMatrix[int](3, 3) // wrong width for the same block column
+	if _, err := Concat([]*Matrix[int]{a, c}, 2, 1); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("width mismatch: %v", err)
+	}
+	if _, err := Concat([]*Matrix[int]{a}, 2, 2); !errors.Is(err, ErrInvalidValue) {
+		t.Fatalf("tile count: %v", err)
+	}
+}
+
+func TestSplitErrors(t *testing.T) {
+	a := NewMatrix[int](4, 4)
+	if _, err := Split(a, []int{3}, []int{4}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("row sum: %v", err)
+	}
+	if _, err := Split(a, []int{4}, []int{5}); !errors.Is(err, ErrDimensionMismatch) {
+		t.Fatalf("col sum: %v", err)
+	}
+	if _, err := Split(a, []int{-1, 5}, []int{4}); !errors.Is(err, ErrInvalidValue) {
+		t.Fatalf("negative: %v", err)
+	}
+}

@@ -1,0 +1,124 @@
+package grb
+
+import "sort"
+
+// Extract (GrB_extract): gather a submatrix or subvector by index lists.
+// Index lists must not contain duplicates (unlike the C API, which permits
+// them); duplicates return ErrInvalidValue.
+
+// ExtractSubvector returns w of size len(I) with w_r = u(I[r]) where
+// present.
+func ExtractSubvector[T any](u *Vector[T], I []Index) (*Vector[T], error) {
+	w := NewVector[T](len(I))
+	seen := make(map[Index]struct{}, len(I))
+	for r, i := range I {
+		if i < 0 || i >= u.n {
+			return nil, boundsErrf("ExtractSubvector: index %d outside [0,%d)", i, u.n)
+		}
+		if _, dup := seen[i]; dup {
+			return nil, invalidErrf("ExtractSubvector: duplicate index %d", i)
+		}
+		seen[i] = struct{}{}
+		if p, ok := u.find(i); ok {
+			// Output entries may arrive out of order; fix below.
+			w.ind = append(w.ind, r)
+			w.val = append(w.val, u.val[p])
+		}
+	}
+	// I is an arbitrary permutation, but we appended in r order, so the
+	// output is already sorted by r.
+	return w, nil
+}
+
+// ExtractSubmatrix returns the len(I)×len(J) matrix C with
+// C(r, c) = A(I[r], J[c]) where present. Only the rows listed in I are
+// touched, and pending tuples of other rows are left unassembled, so
+// extracting a small induced subgraph from a large updated matrix is cheap —
+// this is step 2 of the batch Q2 algorithm.
+func ExtractSubmatrix[T any](a *Matrix[T], I, J []Index) (*Matrix[T], error) {
+	c := NewMatrix[T](len(I), len(J))
+	colPos := make(map[Index]int, len(J))
+	for p, j := range J {
+		if j < 0 || j >= a.ncols {
+			return nil, boundsErrf("ExtractSubmatrix: column %d outside [0,%d)", j, a.ncols)
+		}
+		if _, dup := colPos[j]; dup {
+			return nil, invalidErrf("ExtractSubmatrix: duplicate column index %d", j)
+		}
+		colPos[j] = p
+	}
+	seenRow := make(map[Index]struct{}, len(I))
+	rowCols := make([][]Index, len(I))
+	rowVals := make([][]T, len(I))
+	for r, i := range I {
+		if i < 0 || i >= a.nrows {
+			return nil, boundsErrf("ExtractSubmatrix: row %d outside [0,%d)", i, a.nrows)
+		}
+		if _, dup := seenRow[i]; dup {
+			return nil, invalidErrf("ExtractSubmatrix: duplicate row index %d", i)
+		}
+		seenRow[i] = struct{}{}
+		var cols []Index
+		var vals []T
+		a.forRow(i, func(j Index, x T) {
+			if p, ok := colPos[j]; ok {
+				cols = append(cols, p)
+				vals = append(vals, x)
+			}
+		})
+		if len(cols) > 1 && !sort.IntsAreSorted(cols) {
+			sortColsVals(cols, vals)
+		}
+		rowCols[r], rowVals[r] = cols, vals
+	}
+	stitchRows(c, rowCols, rowVals)
+	return c, nil
+}
+
+// sortColsVals co-sorts a (cols, vals) pair by column.
+func sortColsVals[T any](cols []Index, vals []T) {
+	perm := make([]int, len(cols))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(x, y int) bool { return cols[perm[x]] < cols[perm[y]] })
+	nc := make([]Index, len(cols))
+	nv := make([]T, len(vals))
+	for t, p := range perm {
+		nc[t] = cols[p]
+		nv[t] = vals[p]
+	}
+	copy(cols, nc)
+	copy(vals, nv)
+}
+
+// ExtractRow returns row i of a as a sparse vector of size NCols.
+func ExtractRow[T any](a *Matrix[T], i Index) (*Vector[T], error) {
+	if i < 0 || i >= a.nrows {
+		return nil, boundsErrf("ExtractRow: row %d outside [0,%d)", i, a.nrows)
+	}
+	w := NewVector[T](a.ncols)
+	a.forRow(i, func(j Index, x T) {
+		w.ind = append(w.ind, j)
+		w.val = append(w.val, x)
+	})
+	return w, nil
+}
+
+// ExtractCol returns column j of a as a sparse vector of size NRows. It
+// scans the whole matrix (CSR has no column index), assembling first.
+func ExtractCol[T any](a *Matrix[T], j Index) (*Vector[T], error) {
+	if j < 0 || j >= a.ncols {
+		return nil, boundsErrf("ExtractCol: column %d outside [0,%d)", j, a.ncols)
+	}
+	a.Wait()
+	w := NewVector[T](a.nrows)
+	for i := 0; i < a.nrows; i++ {
+		lo, hi := a.rowPtr[i], a.rowPtr[i+1]
+		p := lo + sort.SearchInts(a.colInd[lo:hi], j)
+		if p < hi && a.colInd[p] == j {
+			w.setSorted(i, a.val[p])
+		}
+	}
+	return w, nil
+}

@@ -1,0 +1,165 @@
+package grb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestKroneckerSmall(t *testing.T) {
+	a := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{1, 0}, []int{2, 3})
+	b := mustMatrix(t, 2, 2, []Index{0, 1}, []Index{0, 1}, []int{10, 100})
+	c, err := Kronecker(Times[int], a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NRows() != 4 || c.NCols() != 4 {
+		t.Fatalf("shape %d×%d", c.NRows(), c.NCols())
+	}
+	checks := []struct {
+		i, j Index
+		v    int
+	}{
+		{0, 2, 20},  // A(0,1)·B(0,0)
+		{1, 3, 200}, // A(0,1)·B(1,1)
+		{2, 0, 30},  // A(1,0)·B(0,0)
+		{3, 1, 300}, // A(1,0)·B(1,1)
+	}
+	if c.NVals() != len(checks) {
+		t.Fatalf("NVals = %d, want %d", c.NVals(), len(checks))
+	}
+	for _, ck := range checks {
+		if x, ok, _ := c.GetElement(ck.i, ck.j); !ok || x != ck.v {
+			t.Fatalf("c(%d,%d) = (%d,%v), want %d", ck.i, ck.j, x, ok, ck.v)
+		}
+	}
+}
+
+func TestKroneckerAgainstBruteForce(t *testing.T) {
+	a := mustMatrix(t, 2, 3, []Index{0, 0, 1}, []Index{0, 2, 1}, []int{1, 2, 3})
+	b := mustMatrix(t, 3, 2, []Index{0, 2}, []Index{1, 0}, []int{4, 5})
+	c, err := Kronecker(Times[int], a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	a.Iterate(func(i, j Index, av int) bool {
+		b.Iterate(func(k, l Index, bv int) bool {
+			x, ok, _ := c.GetElement(i*3+k, j*2+l)
+			if !ok || x != av*bv {
+				t.Fatalf("c(%d,%d) = (%d,%v), want %d", i*3+k, j*2+l, x, ok, av*bv)
+			}
+			count++
+			return true
+		})
+		return true
+	})
+	if c.NVals() != count {
+		t.Fatalf("NVals = %d, want %d", c.NVals(), count)
+	}
+}
+
+func TestKroneckerEmpty(t *testing.T) {
+	a := NewMatrix[int](2, 2)
+	b := mustMatrix(t, 2, 2, []Index{0}, []Index{0}, []int{1})
+	c, err := Kronecker(Times[int], a, b)
+	if err != nil || c.NVals() != 0 {
+		t.Fatalf("empty ⊗ x: %v nvals=%d", err, c.NVals())
+	}
+}
+
+func TestDiagAndIdentity(t *testing.T) {
+	u, _ := VectorFromTuples(4, []Index{1, 3}, []int{7, 9}, nil)
+	d := Diag(u)
+	if d.NRows() != 4 || d.NCols() != 4 || d.NVals() != 2 {
+		t.Fatalf("diag shape/nvals wrong: %d×%d %d", d.NRows(), d.NCols(), d.NVals())
+	}
+	if x, _, _ := d.GetElement(3, 3); x != 9 {
+		t.Fatalf("d(3,3) = %d", x)
+	}
+	if _, ok, _ := d.GetElement(0, 0); ok {
+		t.Fatal("phantom diagonal entry")
+	}
+	id := Identity(3)
+	a := mustMatrix(t, 3, 3, []Index{0, 2}, []Index{1, 2}, []int{5, 6})
+	prod := Must(MxM(PlusSecond[bool, int](), id, a))
+	assertMatricesEqual(t, a, prod)
+}
+
+func TestMMRoundTripBool(t *testing.T) {
+	a, _ := MatrixFromTuples(3, 4,
+		[]Index{0, 1, 2}, []Index{3, 0, 2}, []bool{true, true, true}, nil)
+	var buf bytes.Buffer
+	if err := MMWriteBool(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := MMReadBool(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatricesEqual(t, a, got)
+}
+
+func TestMMRoundTripFloat(t *testing.T) {
+	a, _ := MatrixFromTuples(2, 2,
+		[]Index{0, 1}, []Index{1, 0}, []float64{1.5, -2.25}, nil)
+	var buf bytes.Buffer
+	if err := MMWriteFloat(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := MMReadFloat(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertMatricesEqual(t, a, got)
+}
+
+func TestMMReadSymmetric(t *testing.T) {
+	in := `%%MatrixMarket matrix coordinate pattern symmetric
+% a comment line
+3 3 2
+2 1
+3 2
+`
+	a, err := MMReadBool(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Symmetric: (2,1) implies (1,2), (3,2) implies (2,3) — 4 entries.
+	if a.NVals() != 4 {
+		t.Fatalf("NVals = %d, want 4", a.NVals())
+	}
+	if x, ok, _ := a.GetElement(0, 1); !ok || !x {
+		t.Fatal("mirrored entry (1,2) missing")
+	}
+}
+
+func TestMMReadInteger(t *testing.T) {
+	in := "%%MatrixMarket matrix coordinate integer general\n2 2 1\n1 2 7\n"
+	a, err := MMReadFloat(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x, _, _ := a.GetElement(0, 1); x != 7 {
+		t.Fatalf("a(0,1) = %g", x)
+	}
+}
+
+func TestMMReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"bad banner":   "%%NotMatrixMarket\n1 1 0\n",
+		"array format": "%%MatrixMarket matrix array real general\n1 1\n1.0\n",
+		"bad field":    "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 2 3\n",
+		"bad symmetry": "%%MatrixMarket matrix coordinate real skew-symmetric\n1 1 1\n1 1 1\n",
+		"no size":      "%%MatrixMarket matrix coordinate real general\n% only comments\n",
+		"oob entry":    "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n",
+		"wrong count":  "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n",
+		"bad value":    "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 abc\n",
+	}
+	for name, in := range cases {
+		if _, err := MMReadBool(strings.NewReader(in)); err == nil {
+			t.Fatalf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package grb
+
+// Matrix Market exchange format I/O for boolean and float64 matrices — the
+// lingua franca of sparse matrix collections (and of the LAGraph test
+// suites). Supported: "matrix coordinate (pattern|real|integer)
+// (general|symmetric)". Array (dense) files and complex fields are not.
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// MMWriteBool writes a boolean matrix as "coordinate pattern general".
+func MMWriteBool(w io.Writer, a *Matrix[bool]) error {
+	a.Wait()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate pattern general")
+	fmt.Fprintf(bw, "%d %d %d\n", a.nrows, a.ncols, len(a.val))
+	for i := 0; i < a.nrows; i++ {
+		for p := a.rowPtr[i]; p < a.rowPtr[i+1]; p++ {
+			fmt.Fprintf(bw, "%d %d\n", i+1, a.colInd[p]+1)
+		}
+	}
+	return bw.Flush()
+}
+
+// MMWriteFloat writes a float64 matrix as "coordinate real general".
+func MMWriteFloat(w io.Writer, a *Matrix[float64]) error {
+	a.Wait()
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "%%MatrixMarket matrix coordinate real general")
+	fmt.Fprintf(bw, "%d %d %d\n", a.nrows, a.ncols, len(a.val))
+	for i := 0; i < a.nrows; i++ {
+		for p := a.rowPtr[i]; p < a.rowPtr[i+1]; p++ {
+			fmt.Fprintf(bw, "%d %d %g\n", i+1, a.colInd[p]+1, a.val[p])
+		}
+	}
+	return bw.Flush()
+}
+
+// mmHeader is the parsed banner + size line of a Matrix Market file.
+type mmHeader struct {
+	field     string // pattern | real | integer
+	symmetric bool
+	nrows     int
+	ncols     int
+	nnz       int
+}
+
+func mmParseHeader(sc *bufio.Scanner) (*mmHeader, error) {
+	if !sc.Scan() {
+		return nil, fmt.Errorf("grb: empty MatrixMarket input")
+	}
+	banner := strings.Fields(strings.ToLower(sc.Text()))
+	if len(banner) != 5 || banner[0] != "%%matrixmarket" || banner[1] != "matrix" {
+		return nil, fmt.Errorf("grb: not a MatrixMarket matrix banner: %q", sc.Text())
+	}
+	if banner[2] != "coordinate" {
+		return nil, fmt.Errorf("grb: unsupported MatrixMarket format %q (only coordinate)", banner[2])
+	}
+	h := &mmHeader{field: banner[3]}
+	switch banner[3] {
+	case "pattern", "real", "integer":
+	default:
+		return nil, fmt.Errorf("grb: unsupported MatrixMarket field %q", banner[3])
+	}
+	switch banner[4] {
+	case "general":
+	case "symmetric":
+		h.symmetric = true
+	default:
+		return nil, fmt.Errorf("grb: unsupported MatrixMarket symmetry %q", banner[4])
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if _, err := fmt.Sscanf(line, "%d %d %d", &h.nrows, &h.ncols, &h.nnz); err != nil {
+			return nil, fmt.Errorf("grb: bad MatrixMarket size line %q: %w", line, err)
+		}
+		return h, nil
+	}
+	return nil, fmt.Errorf("grb: MatrixMarket input ends before size line")
+}
+
+// mmReadEntries streams the coordinate lines into emit (0-based indices).
+func mmReadEntries(sc *bufio.Scanner, h *mmHeader, emit func(i, j Index, val float64) error) error {
+	count := 0
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		wantFields := 3
+		if h.field == "pattern" {
+			wantFields = 2
+		}
+		if len(fields) < wantFields {
+			return fmt.Errorf("grb: bad MatrixMarket entry %q", line)
+		}
+		i, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return fmt.Errorf("grb: bad row in %q: %w", line, err)
+		}
+		j, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fmt.Errorf("grb: bad column in %q: %w", line, err)
+		}
+		val := 1.0
+		if h.field != "pattern" {
+			val, err = strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return fmt.Errorf("grb: bad value in %q: %w", line, err)
+			}
+		}
+		if i < 1 || i > h.nrows || j < 1 || j > h.ncols {
+			return fmt.Errorf("grb: MatrixMarket entry (%d,%d) outside %d×%d", i, j, h.nrows, h.ncols)
+		}
+		if err := emit(i-1, j-1, val); err != nil {
+			return err
+		}
+		if h.symmetric && i != j {
+			if err := emit(j-1, i-1, val); err != nil {
+				return err
+			}
+		}
+		count++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if count != h.nnz {
+		return fmt.Errorf("grb: MatrixMarket header promises %d entries, found %d", h.nnz, count)
+	}
+	return nil
+}
+
+// MMReadBool reads a coordinate Matrix Market file as a boolean matrix
+// (values of real/integer files are coerced to presence).
+func MMReadBool(r io.Reader) (*Matrix[bool], error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	h, err := mmParseHeader(sc)
+	if err != nil {
+		return nil, err
+	}
+	a := NewMatrix[bool](h.nrows, h.ncols)
+	if err := mmReadEntries(sc, h, func(i, j Index, _ float64) error {
+		return a.SetElement(i, j, true)
+	}); err != nil {
+		return nil, err
+	}
+	a.Wait()
+	return a, nil
+}
+
+// MMReadFloat reads a coordinate Matrix Market file as a float64 matrix
+// (pattern entries become 1.0).
+func MMReadFloat(r io.Reader) (*Matrix[float64], error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	h, err := mmParseHeader(sc)
+	if err != nil {
+		return nil, err
+	}
+	a := NewMatrix[float64](h.nrows, h.ncols)
+	if err := mmReadEntries(sc, h, func(i, j Index, v float64) error {
+		return a.SetElement(i, j, v)
+	}); err != nil {
+		return nil, err
+	}
+	a.Wait()
+	return a, nil
+}

@@ -1,0 +1,67 @@
+package grb
+
+import "sort"
+
+// MxM computes C = A ⊕.⊗ B (GrB_mxm) with Gustavson's row-wise algorithm:
+// for each row i of A, the rows of B selected by A(i,:) are scattered into a
+// dense accumulator. Rows of A are processed in parallel; each worker owns
+// its accumulator. Cost: O(Σ_ik nnz(B(k,:)) for A_ik ≠ 0), the standard
+// sparse-matrix-multiply bound.
+func MxM[A, B, C any](s Semiring[A, B, C], a *Matrix[A], b *Matrix[B]) (*Matrix[C], error) {
+	if a.ncols != b.nrows {
+		return nil, dimErrf("MxM: %d×%d times %d×%d", a.nrows, a.ncols, b.nrows, b.ncols)
+	}
+	a.Wait()
+	b.Wait()
+	c := NewMatrix[C](a.nrows, b.ncols)
+	rowCols := make([][]Index, a.nrows)
+	rowVals := make([][]C, a.nrows)
+	bounds := parallelChunks(a.nrows)
+	runChunks(bounds, func(_, lo, hi int) {
+		acc := make([]C, b.ncols)
+		present := make([]bool, b.ncols)
+		var touched []Index
+		for i := lo; i < hi; i++ {
+			touched = touched[:0]
+			for p := a.rowPtr[i]; p < a.rowPtr[i+1]; p++ {
+				k := a.colInd[p]
+				ax := a.val[p]
+				for q := b.rowPtr[k]; q < b.rowPtr[k+1]; q++ {
+					j := b.colInd[q]
+					if !present[j] {
+						present[j] = true
+						acc[j] = s.Mul(ax, b.val[q])
+						touched = append(touched, j)
+					} else {
+						acc[j] = s.Add.Op(acc[j], s.Mul(ax, b.val[q]))
+					}
+				}
+			}
+			if len(touched) == 0 {
+				continue
+			}
+			sort.Ints(touched)
+			cols := make([]Index, len(touched))
+			vals := make([]C, len(touched))
+			for t, j := range touched {
+				cols[t] = j
+				vals[t] = acc[j]
+				present[j] = false
+			}
+			rowCols[i], rowVals[i] = cols, vals
+		}
+	})
+	stitchRows(c, rowCols, rowVals)
+	return c, nil
+}
+
+// MxMMasked is MxM restricted to the structural mask: only result positions
+// present in the mask (or absent, under complement) are kept. The mask is
+// applied per output row, so fully masked-out rows are skipped.
+func MxMMasked[A, B, C, M any](s Semiring[A, B, C], a *Matrix[A], b *Matrix[B], mask *Matrix[M], complement bool) (*Matrix[C], error) {
+	cm, err := MxM(s, a, b)
+	if err != nil {
+		return nil, err
+	}
+	return MaskM(cm, mask, complement)
+}

@@ -1,0 +1,143 @@
+package grb
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The engine parallelizes its kernels over contiguous chunks of rows (or
+// vector entries) with plain goroutines, the Go analogue of
+// SuiteSparse:GraphBLAS's OpenMP parallelism. The degree of parallelism is a
+// process-wide setting so that a whole benchmark phase (e.g. "GraphBLAS
+// Batch, 8 threads") can flip it once, exactly like GxB_set(GxB_NTHREADS).
+
+var numThreads atomic.Int32
+
+func init() {
+	numThreads.Store(int32(runtime.GOMAXPROCS(0)))
+}
+
+// SetThreads sets the number of worker goroutines used by parallel kernels.
+// n < 1 resets to GOMAXPROCS. It returns the previous setting.
+func SetThreads(n int) int {
+	if n < 1 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	return int(numThreads.Swap(int32(n)))
+}
+
+// Threads reports the current parallelism degree.
+func Threads() int { return int(numThreads.Load()) }
+
+// minParallelWork is the smallest amount of per-chunk work worth a
+// goroutine; below it kernels run sequentially to avoid scheduling overhead.
+const minParallelWork = 4096
+
+// parallelRanges invokes body(lo, hi) over a partition of [0, n) using up to
+// Threads() goroutines. body must be safe to call concurrently on disjoint
+// ranges. When the work is small or only one thread is configured it calls
+// body(0, n) inline.
+func parallelRanges(n int, body func(lo, hi int)) {
+	nt := Threads()
+	if n <= 0 {
+		return
+	}
+	if nt <= 1 || n < minParallelWork {
+		body(0, n)
+		return
+	}
+	if nt > n {
+		nt = n
+	}
+	chunk := (n + nt - 1) / nt
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelItems invokes body(i) for every i in [0, n) using up to Threads()
+// workers with dynamic (work-stealing counter) scheduling. Unlike the
+// internal chunked helpers it parallelizes even small n, because callers use
+// it for coarse-grained tasks of highly uneven cost — e.g. the per-comment
+// connected-component computations of Q2, which the paper parallelizes with
+// OpenMP at comment granularity.
+func ParallelItems(n int, body func(i int)) {
+	nt := Threads()
+	if nt > n {
+		nt = n
+	}
+	if nt <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < nt; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// parallelChunks partitions [0, n) into at most Threads() contiguous chunks
+// and returns the boundaries (len = #chunks+1). Kernels that must stitch
+// per-chunk results back together in order (e.g. MxM building CSR output)
+// use this instead of parallelRanges.
+func parallelChunks(n int) []int {
+	nt := Threads()
+	if nt <= 1 || n < minParallelWork {
+		return []int{0, n}
+	}
+	if nt > n {
+		nt = n
+	}
+	bounds := make([]int, 0, nt+1)
+	chunk := (n + nt - 1) / nt
+	for lo := 0; lo <= n; lo += chunk {
+		bounds = append(bounds, lo)
+	}
+	if bounds[len(bounds)-1] != n {
+		bounds = append(bounds, n)
+	}
+	return bounds
+}
+
+// runChunks executes body over each chunk defined by bounds concurrently.
+func runChunks(bounds []int, body func(chunk, lo, hi int)) {
+	nchunks := len(bounds) - 1
+	if nchunks == 1 {
+		body(0, bounds[0], bounds[1])
+		return
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < nchunks; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			body(c, bounds[c], bounds[c+1])
+		}(c)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,342 @@
+package grb
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// sparseSpec is a quick-generatable description of a sparse object: a logical
+// size and a list of raw (index, value) pairs that are reduced modulo the
+// size. It sidesteps quick's inability to respect index invariants directly.
+type sparseSpec struct {
+	Pairs []struct {
+		I Index
+		V int16
+	}
+}
+
+func (s sparseSpec) vector(n int) *Vector[int] {
+	v := NewVector[int](n)
+	for _, p := range s.Pairs {
+		i := p.I % n
+		if i < 0 {
+			i += n
+		}
+		Must0(v.SetElement(i, int(p.V)))
+	}
+	return v
+}
+
+func (s sparseSpec) matrix(nr, nc int) *Matrix[int] {
+	a := NewMatrix[int](nr, nc)
+	for k, p := range s.Pairs {
+		i := p.I % nr
+		if i < 0 {
+			i += nr
+		}
+		j := (p.I / 7 * 31) % nc
+		if j < 0 {
+			j += nc
+		}
+		j = (j + k) % nc
+		Must0(a.SetElement(i, j, int(p.V)))
+	}
+	a.Wait()
+	return a
+}
+
+func vecToMap(v *Vector[int]) map[Index]int {
+	m := map[Index]int{}
+	v.Iterate(func(i Index, x int) bool {
+		m[i] = x
+		return true
+	})
+	return m
+}
+
+func matToMap(a *Matrix[int]) map[[2]Index]int {
+	m := map[[2]Index]int{}
+	a.Iterate(func(i, j Index, x int) bool {
+		m[[2]Index{i, j}] = x
+		return true
+	})
+	return m
+}
+
+// Property: build → ExtractTuples → build is the identity.
+func TestPropVectorTupleRoundTrip(t *testing.T) {
+	f := func(s sparseSpec) bool {
+		const n = 64
+		v := s.vector(n)
+		ind, val := v.ExtractTuples()
+		w, err := VectorFromTuples(n, ind, val, nil)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(vecToMap(v), vecToMap(w))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: eWiseAdd over vectors equals the union of the map views.
+func TestPropEWiseAddVOracle(t *testing.T) {
+	f := func(s1, s2 sparseSpec) bool {
+		const n = 48
+		u, v := s1.vector(n), s2.vector(n)
+		w, err := EWiseAddV(Plus[int], u, v)
+		if err != nil {
+			return false
+		}
+		want := vecToMap(u)
+		for i, x := range vecToMap(v) {
+			if y, ok := want[i]; ok {
+				want[i] = x + y
+			} else {
+				want[i] = x
+			}
+		}
+		return reflect.DeepEqual(want, vecToMap(w))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: eWiseMult over vectors equals the intersection of the map views.
+func TestPropEWiseMultVOracle(t *testing.T) {
+	f := func(s1, s2 sparseSpec) bool {
+		const n = 48
+		u, v := s1.vector(n), s2.vector(n)
+		w, err := EWiseMultV(Times[int], u, v)
+		if err != nil {
+			return false
+		}
+		mu, mv := vecToMap(u), vecToMap(v)
+		want := map[Index]int{}
+		for i, x := range mu {
+			if y, ok := mv[i]; ok {
+				want[i] = x * y
+			}
+		}
+		return reflect.DeepEqual(want, vecToMap(w))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MxV equals the naive dense product over the map view.
+func TestPropMxVOracle(t *testing.T) {
+	f := func(sm, sv sparseSpec) bool {
+		const nr, nc = 24, 16
+		a := sm.matrix(nr, nc)
+		u := sv.vector(nc)
+		w, err := MxV(PlusTimes[int](), a, u)
+		if err != nil {
+			return false
+		}
+		mu := vecToMap(u)
+		want := map[Index]int{}
+		hit := map[Index]bool{}
+		for ij, x := range matToMap(a) {
+			if y, ok := mu[ij[1]]; ok {
+				want[ij[0]] += x * y
+				hit[ij[0]] = true
+			}
+		}
+		got := vecToMap(w)
+		if len(got) != len(hit) {
+			return false
+		}
+		for i := range hit {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: VxM(u, A) ≡ MxV(Aᵀ, u) for the plus-times semiring.
+func TestPropVxMTransposeEquivalence(t *testing.T) {
+	f := func(sm, sv sparseSpec) bool {
+		const nr, nc = 20, 28
+		a := sm.matrix(nr, nc)
+		u := sv.vector(nr)
+		w1, err := VxM(PlusTimes[int](), u, a)
+		if err != nil {
+			return false
+		}
+		w2, err := MxV(PlusTimes[int](), Transpose(a), u)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(vecToMap(w1), vecToMap(w2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: transpose is an involution.
+func TestPropTransposeInvolution(t *testing.T) {
+	f := func(s sparseSpec) bool {
+		a := s.matrix(17, 23)
+		return reflect.DeepEqual(matToMap(a), matToMap(Transpose(Transpose(a))))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A·B)·C = A·(B·C) over plus-times.
+func TestPropMxMAssociativity(t *testing.T) {
+	f := func(s1, s2, s3 sparseSpec) bool {
+		a := s1.matrix(8, 9)
+		b := s2.matrix(9, 10)
+		c := s3.matrix(10, 7)
+		ab, err := MxM(PlusTimes[int](), a, b)
+		if err != nil {
+			return false
+		}
+		left, err := MxM(PlusTimes[int](), ab, c)
+		if err != nil {
+			return false
+		}
+		bc, err := MxM(PlusTimes[int](), b, c)
+		if err != nil {
+			return false
+		}
+		right, err := MxM(PlusTimes[int](), a, bc)
+		if err != nil {
+			return false
+		}
+		// Compare as dense values: explicit zeros may differ structurally
+		// (a stored 0 from cancellation), so compare value maps where
+		// missing = 0.
+		lm, rm := matToMap(left), matToMap(right)
+		for k, v := range lm {
+			if rm[k] != v {
+				return false
+			}
+		}
+		for k, v := range rm {
+			if lm[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: reduceRows ≡ summing the extracted tuples per row.
+func TestPropReduceRowsOracle(t *testing.T) {
+	f := func(s sparseSpec) bool {
+		a := s.matrix(19, 13)
+		w, err := ReduceRows(PlusMonoid[int](), Ident[int], a)
+		if err != nil {
+			return false
+		}
+		want := map[Index]int{}
+		for ij, x := range matToMap(a) {
+			want[ij[0]] += x
+		}
+		got := vecToMap(w)
+		if len(got) != len(want) {
+			return false
+		}
+		for i, x := range want {
+			if got[i] != x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mask and complement partition a vector.
+func TestPropMaskPartition(t *testing.T) {
+	f := func(s1, s2 sparseSpec) bool {
+		const n = 40
+		u, m := s1.vector(n), s2.vector(n)
+		in, err := MaskV(u, m, false)
+		if err != nil {
+			return false
+		}
+		out, err := MaskV(u, m, true)
+		if err != nil {
+			return false
+		}
+		if in.NVals()+out.NVals() != u.NVals() {
+			return false
+		}
+		back, err := EWiseAddV(Plus[int], in, out)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(vecToMap(u), vecToMap(back))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: pending-tuple assembly is equivalent to an eager build with
+// last-wins duplicates, regardless of interleaved Waits.
+func TestPropPendingAssemblyEquivalence(t *testing.T) {
+	f := func(seed int64, waits uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 30
+		lazy := NewMatrix[int](n, n)
+		want := map[[2]Index]int{}
+		for k := 0; k < 300; k++ {
+			i, j, x := rng.Intn(n), rng.Intn(n), rng.Intn(100)
+			Must0(lazy.SetElement(i, j, x))
+			want[[2]Index{i, j}] = x
+			if waits > 0 && k%(int(waits)+1) == 0 {
+				lazy.Wait()
+			}
+		}
+		return reflect.DeepEqual(want, matToMap(lazy))
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: select keeps exactly the predicate-satisfying subset, and
+// select(p) ∪ select(¬p) = original.
+func TestPropSelectPartition(t *testing.T) {
+	f := func(s sparseSpec, threshold int16) bool {
+		a := s.matrix(15, 15)
+		p := func(_, _ Index, v int) bool { return v >= int(threshold) }
+		yes := SelectM(p, a)
+		no := SelectM(func(i, j Index, v int) bool { return !p(i, j, v) }, a)
+		if yes.NVals()+no.NVals() != a.NVals() {
+			return false
+		}
+		both, err := EWiseAddM(Plus[int], yes, no)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(matToMap(a), matToMap(both))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package grb
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixRemoveElementPending(t *testing.T) {
+	a := mustMatrix(t, 2, 3, []Index{0, 0, 1}, []Index{0, 2, 1}, []int{1, 2, 3})
+	Must0(a.RemoveElement(0, 2))
+	// Observed before assembly.
+	if _, ok, _ := a.GetElement(0, 2); ok {
+		t.Fatal("zombie still visible to GetElement")
+	}
+	if a.NPending() == 0 {
+		t.Fatal("removal must be pending, not eager")
+	}
+	a.Wait()
+	if a.NVals() != 2 {
+		t.Fatalf("NVals = %d, want 2", a.NVals())
+	}
+	if _, ok, _ := a.GetElement(0, 2); ok {
+		t.Fatal("zombie survived assembly")
+	}
+	if x, _, _ := a.GetElement(0, 0); x != 1 {
+		t.Fatal("unrelated entry damaged")
+	}
+}
+
+func TestMatrixRemoveThenSet(t *testing.T) {
+	a := mustMatrix(t, 1, 2, []Index{0}, []Index{1}, []int{5})
+	Must0(a.RemoveElement(0, 1))
+	Must0(a.SetElement(0, 1, 9)) // resurrect
+	if x, ok, _ := a.GetElement(0, 1); !ok || x != 9 {
+		t.Fatalf("resurrected read = (%d,%v)", x, ok)
+	}
+	a.Wait()
+	if x, ok, _ := a.GetElement(0, 1); !ok || x != 9 {
+		t.Fatalf("post-wait = (%d,%v)", x, ok)
+	}
+	if a.NVals() != 1 {
+		t.Fatalf("NVals = %d", a.NVals())
+	}
+}
+
+func TestMatrixSetThenRemove(t *testing.T) {
+	a := NewMatrix[int](1, 2)
+	Must0(a.SetElement(0, 0, 1))
+	Must0(a.RemoveElement(0, 0))
+	if _, ok, _ := a.GetElement(0, 0); ok {
+		t.Fatal("removed pending entry still visible")
+	}
+	a.Wait()
+	if a.NVals() != 0 {
+		t.Fatalf("NVals = %d, want 0", a.NVals())
+	}
+}
+
+func TestMatrixRemoveAbsentIsNoop(t *testing.T) {
+	a := mustMatrix(t, 2, 2, []Index{0}, []Index{0}, []int{1})
+	Must0(a.RemoveElement(1, 1))
+	a.Wait()
+	if a.NVals() != 1 {
+		t.Fatalf("NVals = %d", a.NVals())
+	}
+}
+
+func TestMatrixRemoveBounds(t *testing.T) {
+	a := NewMatrix[int](2, 2)
+	if err := a.RemoveElement(2, 0); err == nil {
+		t.Fatal("row oob accepted")
+	}
+	if err := a.RemoveElement(0, -1); err == nil {
+		t.Fatal("col oob accepted")
+	}
+}
+
+func TestForRowSkipsZombies(t *testing.T) {
+	a := mustMatrix(t, 1, 5, []Index{0, 0, 0}, []Index{0, 2, 4}, []int{1, 2, 3})
+	Must0(a.RemoveElement(0, 2))
+	Must0(a.SetElement(0, 3, 9))
+	var cols []Index
+	a.forRow(0, func(j Index, _ int) { cols = append(cols, j) })
+	if !reflect.DeepEqual(cols, []Index{0, 3, 4}) {
+		t.Fatalf("forRow = %v, want [0 3 4]", cols)
+	}
+	if got := a.rowNNZ(0); got != 3 {
+		t.Fatalf("rowNNZ = %d, want 3", got)
+	}
+}
+
+// Property: an interleaved stream of sets, removes and waits matches a map
+// oracle exactly.
+func TestPropSetRemoveOracle(t *testing.T) {
+	f := func(seed int64, waitEvery uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 20
+		a := NewMatrix[int](n, n)
+		oracle := map[[2]Index]int{}
+		for k := 0; k < 500; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if rng.Intn(3) == 0 {
+				Must0(a.RemoveElement(i, j))
+				delete(oracle, [2]Index{i, j})
+			} else {
+				x := rng.Intn(100)
+				Must0(a.SetElement(i, j, x))
+				oracle[[2]Index{i, j}] = x
+			}
+			if waitEvery > 0 && k%(int(waitEvery)+1) == 0 {
+				a.Wait()
+			}
+			if k%37 == 0 { // spot-check reads against the oracle pre-wait
+				x, ok, _ := a.GetElement(i, j)
+				wx, wok := oracle[[2]Index{i, j}]
+				if ok != wok || (ok && x != wx) {
+					return false
+				}
+			}
+		}
+		return reflect.DeepEqual(oracle, matToMap(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package grb
+
+// Select (GxB_select): keep only the stored elements satisfying a
+// positional/value predicate, e.g. "cells equal to 2" in step 2 of the
+// incremental Q2 algorithm.
+
+// SelectV returns the elements of u for which pred(i, u_i) holds.
+func SelectV[T any](pred func(i Index, v T) bool, u *Vector[T]) *Vector[T] {
+	w := NewVector[T](u.n)
+	for p, i := range u.ind {
+		if pred(i, u.val[p]) {
+			w.setSorted(i, u.val[p])
+		}
+	}
+	return w
+}
+
+// SelectM returns the elements of a for which pred(i, j, A_ij) holds.
+func SelectM[T any](pred func(i, j Index, v T) bool, a *Matrix[T]) *Matrix[T] {
+	a.Wait()
+	b := NewMatrix[T](a.nrows, a.ncols)
+	rowCols := make([][]Index, a.nrows)
+	rowVals := make([][]T, a.nrows)
+	parallelRanges(a.nrows, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var cols []Index
+			var vals []T
+			for p := a.rowPtr[i]; p < a.rowPtr[i+1]; p++ {
+				if pred(i, a.colInd[p], a.val[p]) {
+					cols = append(cols, a.colInd[p])
+					vals = append(vals, a.val[p])
+				}
+			}
+			rowCols[i], rowVals[i] = cols, vals
+		}
+	})
+	stitchRows(b, rowCols, rowVals)
+	return b
+}
+
+// Tril keeps the strictly lower triangle (j < i), a common building block
+// (e.g. triangle counting). Offset k shifts the diagonal: entries with
+// j <= i+k are kept.
+func Tril[T any](a *Matrix[T], k int) *Matrix[T] {
+	return SelectM(func(i, j Index, _ T) bool { return j <= i+k }, a)
+}
+
+// Triu keeps the upper triangle: entries with j >= i+k.
+func Triu[T any](a *Matrix[T], k int) *Matrix[T] {
+	return SelectM(func(i, j Index, _ T) bool { return j >= i+k }, a)
+}

@@ -1,0 +1,31 @@
+package grb
+
+// Transpose returns Aᵀ (GrB_transpose) using a counting scatter: one pass to
+// size the output rows, one to place entries. Output columns come out sorted
+// because input rows are scanned in order. Cost: O(nnz + nrows + ncols).
+func Transpose[T any](a *Matrix[T]) *Matrix[T] {
+	a.Wait()
+	t := NewMatrix[T](a.ncols, a.nrows)
+	counts := make([]int, a.ncols+1)
+	for _, j := range a.colInd {
+		counts[j+1]++
+	}
+	for j := 0; j < a.ncols; j++ {
+		counts[j+1] += counts[j]
+	}
+	t.rowPtr = make([]int, a.ncols+1)
+	copy(t.rowPtr, counts)
+	t.colInd = make([]Index, len(a.colInd))
+	t.val = make([]T, len(a.val))
+	next := make([]int, a.ncols)
+	copy(next, counts[:a.ncols])
+	for i := 0; i < a.nrows; i++ {
+		for p := a.rowPtr[i]; p < a.rowPtr[i+1]; p++ {
+			j := a.colInd[p]
+			t.colInd[next[j]] = i
+			t.val[next[j]] = a.val[p]
+			next[j]++
+		}
+	}
+	return t
+}

@@ -1,0 +1,187 @@
+package grb
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewVectorEmpty(t *testing.T) {
+	v := NewVector[int](10)
+	if v.Size() != 10 {
+		t.Fatalf("Size = %d, want 10", v.Size())
+	}
+	if v.NVals() != 0 {
+		t.Fatalf("NVals = %d, want 0", v.NVals())
+	}
+}
+
+func TestVectorSetGet(t *testing.T) {
+	v := NewVector[int](8)
+	for _, i := range []Index{5, 1, 7, 3} {
+		if err := v.SetElement(i, i*10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v.NVals() != 4 {
+		t.Fatalf("NVals = %d, want 4", v.NVals())
+	}
+	for _, i := range []Index{1, 3, 5, 7} {
+		x, ok, err := v.GetElement(i)
+		if err != nil || !ok || x != i*10 {
+			t.Fatalf("GetElement(%d) = (%d,%v,%v), want (%d,true,nil)", i, x, ok, err, i*10)
+		}
+	}
+	for _, i := range []Index{0, 2, 4, 6} {
+		_, ok, err := v.GetElement(i)
+		if err != nil || ok {
+			t.Fatalf("GetElement(%d) present, want absent", i)
+		}
+	}
+}
+
+func TestVectorSetOverwrites(t *testing.T) {
+	v := NewVector[string](3)
+	Must0(v.SetElement(1, "a"))
+	Must0(v.SetElement(1, "b"))
+	if x, _, _ := v.GetElement(1); x != "b" {
+		t.Fatalf("got %q, want overwrite to %q", x, "b")
+	}
+	if v.NVals() != 1 {
+		t.Fatalf("NVals = %d after overwrite, want 1", v.NVals())
+	}
+}
+
+func TestVectorBounds(t *testing.T) {
+	v := NewVector[int](3)
+	if err := v.SetElement(3, 1); !errors.Is(err, ErrIndexOutOfBounds) {
+		t.Fatalf("SetElement(3): err = %v, want ErrIndexOutOfBounds", err)
+	}
+	if err := v.SetElement(-1, 1); !errors.Is(err, ErrIndexOutOfBounds) {
+		t.Fatalf("SetElement(-1): err = %v, want ErrIndexOutOfBounds", err)
+	}
+	if _, _, err := v.GetElement(5); !errors.Is(err, ErrIndexOutOfBounds) {
+		t.Fatalf("GetElement(5): err = %v, want ErrIndexOutOfBounds", err)
+	}
+	if err := v.RemoveElement(9); !errors.Is(err, ErrIndexOutOfBounds) {
+		t.Fatalf("RemoveElement(9): err = %v, want ErrIndexOutOfBounds", err)
+	}
+}
+
+func TestVectorRemove(t *testing.T) {
+	v := NewVector[int](5)
+	Must0(v.SetElement(2, 20))
+	Must0(v.SetElement(4, 40))
+	Must0(v.RemoveElement(2))
+	if _, ok, _ := v.GetElement(2); ok {
+		t.Fatal("element 2 still present after remove")
+	}
+	if x, ok, _ := v.GetElement(4); !ok || x != 40 {
+		t.Fatal("element 4 disturbed by removal of 2")
+	}
+	Must0(v.RemoveElement(2)) // removing an absent element is a no-op
+	if v.NVals() != 1 {
+		t.Fatalf("NVals = %d, want 1", v.NVals())
+	}
+}
+
+func TestVectorFromTuples(t *testing.T) {
+	v, err := VectorFromTuples(6, []Index{4, 0, 2}, []int{40, 0, 20}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ind, val := v.ExtractTuples()
+	wantInd := []Index{0, 2, 4}
+	wantVal := []int{0, 20, 40}
+	for k := range wantInd {
+		if ind[k] != wantInd[k] || val[k] != wantVal[k] {
+			t.Fatalf("tuple %d = (%d,%d), want (%d,%d)", k, ind[k], val[k], wantInd[k], wantVal[k])
+		}
+	}
+}
+
+func TestVectorFromTuplesDup(t *testing.T) {
+	// dup = plus combines; nil dup keeps the last value.
+	v, err := VectorFromTuples(4, []Index{1, 1, 1}, []int{1, 2, 3}, Plus[int])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x, _, _ := v.GetElement(1); x != 6 {
+		t.Fatalf("dup-plus = %d, want 6", x)
+	}
+	v, err = VectorFromTuples(4, []Index{1, 1, 1}, []int{1, 2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x, _, _ := v.GetElement(1); x != 3 {
+		t.Fatalf("dup-last = %d, want 3", x)
+	}
+}
+
+func TestVectorFromTuplesErrors(t *testing.T) {
+	if _, err := VectorFromTuples(4, []Index{1}, []int{1, 2}, nil); !errors.Is(err, ErrInvalidValue) {
+		t.Fatalf("length mismatch: err = %v", err)
+	}
+	if _, err := VectorFromTuples(4, []Index{4}, []int{1}, nil); !errors.Is(err, ErrIndexOutOfBounds) {
+		t.Fatalf("out of range: err = %v", err)
+	}
+}
+
+func TestVectorResize(t *testing.T) {
+	v := NewVector[int](10)
+	for i := 0; i < 10; i += 2 {
+		Must0(v.SetElement(i, i))
+	}
+	Must0(v.Resize(5)) // drops 6, 8
+	if v.Size() != 5 || v.NVals() != 3 {
+		t.Fatalf("after shrink: size=%d nvals=%d, want 5,3", v.Size(), v.NVals())
+	}
+	Must0(v.Resize(20))
+	if v.Size() != 20 || v.NVals() != 3 {
+		t.Fatalf("after grow: size=%d nvals=%d, want 20,3", v.Size(), v.NVals())
+	}
+	Must0(v.SetElement(19, 190))
+	if x, _, _ := v.GetElement(19); x != 190 {
+		t.Fatal("cannot write into grown region")
+	}
+}
+
+func TestVectorCloneIndependent(t *testing.T) {
+	v := NewVector[int](4)
+	Must0(v.SetElement(1, 10))
+	w := v.Clone()
+	Must0(w.SetElement(1, 99))
+	if x, _, _ := v.GetElement(1); x != 10 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestVectorClear(t *testing.T) {
+	v := NewVector[int](4)
+	Must0(v.SetElement(1, 10))
+	v.Clear()
+	if v.NVals() != 0 || v.Size() != 4 {
+		t.Fatalf("after clear: nvals=%d size=%d", v.NVals(), v.Size())
+	}
+}
+
+func TestVectorIterateOrderAndStop(t *testing.T) {
+	v, _ := VectorFromTuples(10, []Index{7, 2, 5}, []int{70, 20, 50}, nil)
+	var seen []Index
+	v.Iterate(func(i Index, x int) bool {
+		seen = append(seen, i)
+		return len(seen) < 2
+	})
+	if len(seen) != 2 || seen[0] != 2 || seen[1] != 5 {
+		t.Fatalf("Iterate visited %v, want [2 5] then stop", seen)
+	}
+}
+
+func TestVectorFromDense(t *testing.T) {
+	v := VectorFromDense([]int{0, 3, 0, 7}, func(x int) bool { return x != 0 })
+	if v.NVals() != 2 {
+		t.Fatalf("NVals = %d, want 2", v.NVals())
+	}
+	if x, ok, _ := v.GetElement(3); !ok || x != 7 {
+		t.Fatal("dense conversion lost element 3")
+	}
+}

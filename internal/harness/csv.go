@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV export in the layout of the TTC 2018 benchmark framework's raw output
+// ("Tool;Query;ScaleFactor;Phase;MetricValue" rows), so downstream plotting
+// scripts written for the contest's R pipeline can consume our measurements
+// unchanged (we emit commas rather than semicolons; csv.Writer.Comma can be
+// overridden by the caller if needed).
+
+// WriteFig5CSV renders the sweep rows as long-format CSV with one row per
+// (tool, query, scale factor, phase) carrying seconds.
+func WriteFig5CSV(w io.Writer, rows []Fig5Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"Tool", "Query", "ScaleFactor", "Phase", "Seconds"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, rec := range [][2]string{
+			{"Initialization+Load+Initial", formatSeconds(r.LoadInitial.Seconds())},
+			{"Update+Reevaluate", formatSeconds(r.UpdateTotal.Seconds())},
+		} {
+			if err := cw.Write([]string{
+				r.Tool, r.Query, strconv.Itoa(r.ScaleFactor), rec[0], rec[1],
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTableIICSV renders Table II rows as CSV.
+func WriteTableIICSV(w io.Writer, rows []TableIIRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"ScaleFactor", "Nodes", "Edges", "Inserts"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.ScaleFactor), strconv.Itoa(r.Nodes),
+			strconv.Itoa(r.Edges), strconv.Itoa(r.Inserts),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatSeconds(s float64) string {
+	return strconv.FormatFloat(s, 'g', 6, 64)
+}
+
+// WriteMeasurementLog renders one measurement in the contest's per-phase
+// log format, useful for eyeballing a single ttcrun.
+func WriteMeasurementLog(w io.Writer, tool, query string, sf int, m *Measurement) {
+	fmt.Fprintf(w, "%s;%s;%d;Load;%d\n", tool, query, sf, m.Load.Nanoseconds())
+	fmt.Fprintf(w, "%s;%s;%d;Initial;%d\n", tool, query, sf, m.Initial.Nanoseconds())
+	for k, u := range m.Updates {
+		fmt.Fprintf(w, "%s;%s;%d;Update%d;%d\n", tool, query, sf, k+1, u.Nanoseconds())
+	}
+}

@@ -1,0 +1,64 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWriteFig5CSV(t *testing.T) {
+	rows := []Fig5Row{
+		{Query: "Q1", Tool: "GraphBLAS Batch", ScaleFactor: 2,
+			LoadInitial: 1500 * time.Microsecond, UpdateTotal: 250 * time.Microsecond},
+	}
+	var sb strings.Builder
+	if err := WriteFig5CSV(&sb, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Tool,Query,ScaleFactor,Phase,Seconds" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "GraphBLAS Batch,Q1,2,Initialization+Load+Initial,0.0015") {
+		t.Fatalf("row = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "Update+Reevaluate,0.00025") {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestWriteTableIICSV(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteTableIICSV(&sb, []TableIIRow{{ScaleFactor: 1, Nodes: 2, Edges: 3, Inserts: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	want := "ScaleFactor,Nodes,Edges,Inserts\n1,2,3,4\n"
+	if sb.String() != want {
+		t.Fatalf("got %q, want %q", sb.String(), want)
+	}
+}
+
+func TestWriteMeasurementLog(t *testing.T) {
+	m := &Measurement{
+		Load:    time.Millisecond,
+		Initial: 2 * time.Millisecond,
+		Updates: []time.Duration{time.Microsecond, 2 * time.Microsecond},
+	}
+	var sb strings.Builder
+	WriteMeasurementLog(&sb, "ToolX", "Q1", 4, m)
+	out := sb.String()
+	for _, want := range []string{
+		"ToolX;Q1;4;Load;1000000",
+		"ToolX;Q1;4;Initial;2000000",
+		"ToolX;Q1;4;Update1;1000",
+		"ToolX;Q1;4;Update2;2000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log missing %q:\n%s", want, out)
+		}
+	}
+}

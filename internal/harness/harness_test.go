@@ -1,0 +1,183 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/model"
+)
+
+func TestRunOnceMeasuresAllPhases(t *testing.T) {
+	d := datagen.Generate(datagen.Config{ScaleFactor: 1, Seed: 1})
+	tools := Tools("Q1", 2)
+	m, err := RunOnce(tools[0].New, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Updates) != len(d.ChangeSets) {
+		t.Fatalf("updates = %d, want %d", len(m.Updates), len(d.ChangeSets))
+	}
+	if len(m.Results) != len(d.ChangeSets)+1 {
+		t.Fatalf("results = %d, want %d", len(m.Results), len(d.ChangeSets)+1)
+	}
+	if m.Load <= 0 || m.Initial <= 0 {
+		t.Fatalf("non-positive phase times: load=%v initial=%v", m.Load, m.Initial)
+	}
+	if m.LoadAndInitial() != m.Load+m.Initial {
+		t.Fatal("LoadAndInitial must sum load and initial")
+	}
+	var sum time.Duration
+	for _, u := range m.Updates {
+		sum += u
+	}
+	if m.UpdateTotal() != sum {
+		t.Fatal("UpdateTotal must sum the update phases")
+	}
+}
+
+// All six Fig. 5 tools must produce identical result sequences for both
+// queries — the end-to-end cross-validation tying the GraphBLAS engines,
+// their incremental variants and the NMF reference pair together.
+func TestCrossValidateAllTools(t *testing.T) {
+	for _, seed := range []int64{2018, 7} {
+		d := datagen.Generate(datagen.Config{ScaleFactor: 1, Seed: seed})
+		for _, q := range []string{"Q1", "Q2"} {
+			results, err := CrossValidate(q, d, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(results) != len(d.ChangeSets)+1 {
+				t.Fatalf("%s: %d results", q, len(results))
+			}
+			for i, r := range results {
+				if r == "" {
+					t.Fatalf("%s: empty result at step %d", q, i)
+				}
+			}
+		}
+	}
+}
+
+// All tools — including the NMF reference pair — must agree on mixed
+// insert/remove workloads (the paper's future-work scenario).
+func TestCrossValidateMixedWorkload(t *testing.T) {
+	for _, seed := range []int64{3, 11} {
+		d := datagen.Generate(datagen.Config{
+			ScaleFactor:     1,
+			Seed:            seed,
+			RemovalFraction: 0.3,
+			ChangeSets:      25,
+		})
+		if err := model.Validate(d); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []string{"Q1", "Q2"} {
+			if _, err := CrossValidate(q, d, 2); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, q, err)
+			}
+		}
+	}
+}
+
+func TestRunGeomeanAndDeterminism(t *testing.T) {
+	d := datagen.Generate(datagen.Config{ScaleFactor: 1, Seed: 3})
+	tools := Tools("Q2", 2)
+	m, err := Run(tools[1].New, d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Updates) != len(d.ChangeSets) {
+		t.Fatalf("updates = %d", len(m.Updates))
+	}
+	if m.Load <= 0 {
+		t.Fatal("geomean load must be positive")
+	}
+}
+
+func TestGeomeanDuration(t *testing.T) {
+	ms := []*Measurement{{Load: 1 * time.Millisecond}, {Load: 4 * time.Millisecond}}
+	got := geomeanDuration(ms, func(m *Measurement) time.Duration { return m.Load })
+	want := 2 * time.Millisecond // √(1·4)
+	if got < want-want/100 || got > want+want/100 {
+		t.Fatalf("geomean = %v, want ≈%v", got, want)
+	}
+}
+
+func TestSameResults(t *testing.T) {
+	if err := sameResults([]string{"a", "b"}, []string{"a", "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sameResults([]string{"a"}, []string{"a", "b"}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if err := sameResults([]string{"a"}, []string{"x"}); err == nil {
+		t.Fatal("content mismatch must fail")
+	}
+}
+
+func TestTableII(t *testing.T) {
+	rows := TableII([]int{1, 2}, 2018)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].Nodes < 1100 || rows[0].Nodes > 1450 {
+		t.Fatalf("sf=1 nodes = %d, want ≈1274", rows[0].Nodes)
+	}
+	ratio := float64(rows[1].Nodes) / float64(rows[0].Nodes)
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Fatalf("sf1→sf2 node ratio = %.2f, want ≈2", ratio)
+	}
+	var sb strings.Builder
+	WriteTableII(&sb, rows)
+	if !strings.Contains(sb.String(), "#nodes") {
+		t.Fatal("rendered table missing header")
+	}
+}
+
+func TestFig5SmallSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig5 sweep skipped in -short mode")
+	}
+	rows, err := Fig5(Fig5Config{
+		Queries:         []string{"Q1", "Q2"},
+		ScaleFactors:    []int{1},
+		Runs:            1,
+		ParallelThreads: 2,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 queries × 6 tools × 1 sf.
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	var sb strings.Builder
+	WriteFig5(&sb, rows)
+	out := sb.String()
+	for _, want := range []string{"Q1", "Q2", "NMF Incremental", "GraphBLAS Batch (2 threads)", "Update and reevaluation"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered Fig. 5 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestToolsUnknownQueryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown query must panic")
+		}
+	}()
+	Tools("Q9", 2)
+}
+
+func TestMeasurementOnExampleDataset(t *testing.T) {
+	// The harness must also work on the tiny worked example.
+	d := model.ExampleDataset()
+	for _, q := range []string{"Q1", "Q2"} {
+		if _, err := CrossValidate(q, d, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

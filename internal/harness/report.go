@@ -1,0 +1,209 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/grb"
+	"repro/internal/model"
+)
+
+// TableIIRow is one column of the paper's Table II (rendered as a row).
+type TableIIRow struct {
+	ScaleFactor int
+	Nodes       int
+	Edges       int
+	Inserts     int
+}
+
+// TableII generates datasets for the scale factors and summarizes their
+// sizes, reproducing Table II of the paper.
+func TableII(scaleFactors []int, seed int64) []TableIIRow {
+	rows := make([]TableIIRow, 0, len(scaleFactors))
+	for _, sf := range scaleFactors {
+		d := datagen.Generate(datagen.Config{ScaleFactor: sf, Seed: seed})
+		rows = append(rows, TableIIRow{
+			ScaleFactor: sf,
+			Nodes:       d.Snapshot.NodeCount(),
+			Edges:       d.Snapshot.EdgeCount(),
+			Inserts:     d.TotalInserts(),
+		})
+	}
+	return rows
+}
+
+// WriteTableII renders Table II rows.
+func WriteTableII(w io.Writer, rows []TableIIRow) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "SF\t#nodes\t#edges\t#inserts")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\n", r.ScaleFactor, r.Nodes, r.Edges, r.Inserts)
+	}
+	tw.Flush()
+}
+
+// Fig5Row is one point of a Fig. 5 series.
+type Fig5Row struct {
+	Query       string
+	Tool        string
+	ScaleFactor int
+	LoadInitial time.Duration
+	UpdateTotal time.Duration
+}
+
+// Fig5Config parameterizes a Fig. 5 reproduction sweep.
+type Fig5Config struct {
+	Queries         []string // default {"Q1", "Q2"}
+	ScaleFactors    []int    // default {1, 2, 4, …, 64}
+	Seed            int64    // dataset seed (default 2018)
+	Runs            int      // repetitions per point (default 5, as in the paper)
+	ParallelThreads int      // thread count of the parallel series (default 8)
+}
+
+func (c Fig5Config) withDefaults() Fig5Config {
+	if len(c.Queries) == 0 {
+		c.Queries = []string{"Q1", "Q2"}
+	}
+	if len(c.ScaleFactors) == 0 {
+		c.ScaleFactors = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	if c.Seed == 0 {
+		c.Seed = 2018
+	}
+	if c.Runs == 0 {
+		c.Runs = 5
+	}
+	if c.ParallelThreads == 0 {
+		c.ParallelThreads = 8
+	}
+	return c
+}
+
+// Fig5 runs the full sweep: every tool × query × scale factor, validating
+// along the way that all tools report identical result sequences on every
+// dataset. Progress lines go to progress (may be nil).
+func Fig5(cfg Fig5Config, progress io.Writer) ([]Fig5Row, error) {
+	cfg = cfg.withDefaults()
+	var rows []Fig5Row
+	for _, sf := range cfg.ScaleFactors {
+		d := datagen.Generate(datagen.Config{ScaleFactor: sf, Seed: cfg.Seed})
+		for _, query := range cfg.Queries {
+			var reference []string
+			for _, tool := range Tools(query, cfg.ParallelThreads) {
+				if progress != nil {
+					fmt.Fprintf(progress, "running %s %s sf=%d…\n", query, tool.Label, sf)
+				}
+				prev := grb.SetThreads(tool.Threads)
+				m, err := Run(tool.New, d, cfg.Runs)
+				grb.SetThreads(prev)
+				if err != nil {
+					return nil, err
+				}
+				if reference == nil {
+					reference = m.Results
+				} else if err := sameResults(reference, m.Results); err != nil {
+					return nil, fmt.Errorf("%s sf=%d %s disagrees with reference: %w",
+						query, sf, tool.Label, err)
+				}
+				rows = append(rows, Fig5Row{
+					Query:       query,
+					Tool:        tool.Label,
+					ScaleFactor: sf,
+					LoadInitial: m.LoadAndInitial(),
+					UpdateTotal: m.UpdateTotal(),
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// WriteFig5 renders the sweep as the two Fig. 5 panels per query: load +
+// initial evaluation and update + reevaluation, one column per scale
+// factor, one row per tool.
+func WriteFig5(w io.Writer, rows []Fig5Row) {
+	queries := map[string][]Fig5Row{}
+	var queryOrder []string
+	for _, r := range rows {
+		if _, ok := queries[r.Query]; !ok {
+			queryOrder = append(queryOrder, r.Query)
+		}
+		queries[r.Query] = append(queries[r.Query], r)
+	}
+	for _, q := range queryOrder {
+		qr := queries[q]
+		var sfs []int
+		seenSF := map[int]bool{}
+		var tools []string
+		seenTool := map[string]bool{}
+		for _, r := range qr {
+			if !seenSF[r.ScaleFactor] {
+				seenSF[r.ScaleFactor] = true
+				sfs = append(sfs, r.ScaleFactor)
+			}
+			if !seenTool[r.Tool] {
+				seenTool[r.Tool] = true
+				tools = append(tools, r.Tool)
+			}
+		}
+		sort.Ints(sfs)
+		at := func(tool string, sf int) *Fig5Row {
+			for i := range qr {
+				if qr[i].Tool == tool && qr[i].ScaleFactor == sf {
+					return &qr[i]
+				}
+			}
+			return nil
+		}
+		for _, phase := range []string{"Load and initial evaluation", "Update and reevaluation"} {
+			fmt.Fprintf(w, "\n%s — %s [seconds]\n", q, phase)
+			tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+			fmt.Fprint(tw, "Tool")
+			for _, sf := range sfs {
+				fmt.Fprintf(tw, "\t%d", sf)
+			}
+			fmt.Fprintln(tw)
+			for _, tool := range tools {
+				fmt.Fprint(tw, tool)
+				for _, sf := range sfs {
+					r := at(tool, sf)
+					if r == nil {
+						fmt.Fprint(tw, "\t-")
+						continue
+					}
+					v := r.LoadInitial
+					if phase == "Update and reevaluation" {
+						v = r.UpdateTotal
+					}
+					fmt.Fprintf(tw, "\t%.4g", v.Seconds())
+				}
+				fmt.Fprintln(tw)
+			}
+			tw.Flush()
+		}
+	}
+}
+
+// CrossValidate runs every tool for a query on a dataset once and asserts
+// identical result sequences, returning the shared sequence.
+func CrossValidate(query string, d *model.Dataset, parallelThreads int) ([]string, error) {
+	var reference []string
+	for _, tool := range Tools(query, parallelThreads) {
+		prev := grb.SetThreads(tool.Threads)
+		m, err := RunOnce(tool.New, d)
+		grb.SetThreads(prev)
+		if err != nil {
+			return nil, err
+		}
+		if reference == nil {
+			reference = m.Results
+		} else if err := sameResults(reference, m.Results); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", query, tool.Label, err)
+		}
+	}
+	return reference, nil
+}

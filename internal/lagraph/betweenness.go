@@ -1,0 +1,91 @@
+package lagraph
+
+import "repro/internal/grb"
+
+// BetweennessCentrality computes (unnormalized) vertex betweenness for the
+// unweighted directed graph a, exactly over the given source vertices —
+// pass all vertices for exact betweenness, or a sample for the Brandes
+// approximation. The algorithm is Brandes' two-phase scheme in GraphBLAS
+// form: a forward BFS wave that accumulates path counts per depth, then a
+// backward sweep applying the dependency recursion
+//
+//	δ(v) = Σ_{w ∈ succ(v)} σ(v)/σ(w) · (1 + δ(w)).
+func BetweennessCentrality(a *grb.Matrix[bool], sources []int) ([]float64, error) {
+	n := a.NRows()
+	if a.NCols() != n {
+		return nil, errNotSquare("BetweennessCentrality", a.NRows(), a.NCols())
+	}
+	bc := make([]float64, n)
+	if n == 0 {
+		return bc, nil
+	}
+	at := grb.Transpose(a)
+	plusFirst := grb.PlusFirst[float64, bool]()
+	for _, src := range sources {
+		if src < 0 || src >= n {
+			return nil, errNotSquare("BetweennessCentrality source", src, n)
+		}
+		// Forward phase: sigma[d] holds the number of shortest paths from
+		// src to each vertex first reached at depth d.
+		var sigmas []*grb.Vector[float64]
+		visited := grb.NewVector[bool](n)
+		grb.Must0(visited.SetElement(src, true))
+		frontier := grb.NewVector[float64](n)
+		grb.Must0(frontier.SetElement(src, 1))
+		sigmas = append(sigmas, frontier)
+		for frontier.NVals() > 0 {
+			next, err := grb.VxM(plusFirst, frontier, a)
+			if err != nil {
+				return nil, err
+			}
+			next, err = grb.MaskV(next, visited, true)
+			if err != nil {
+				return nil, err
+			}
+			if next.NVals() == 0 {
+				break
+			}
+			mark := grb.ApplyV(func(float64) bool { return true }, next)
+			visited, err = grb.EWiseAddV(grb.Or, visited, mark)
+			if err != nil {
+				return nil, err
+			}
+			sigmas = append(sigmas, next)
+			frontier = next
+		}
+		// Backward phase: walk depths from the deepest level back to the
+		// source, accumulating dependencies.
+		delta := grb.NewVector[float64](n)
+		for d := len(sigmas) - 1; d >= 1; d-- {
+			// coeff(w) = (1 + δ(w)) / σ(w) over the depth-d vertices.
+			coeff := grb.NewVector[float64](n)
+			sigmas[d].Iterate(func(w grb.Index, sw float64) bool {
+				dw, _, _ := delta.GetElement(w)
+				grb.Must0(coeff.SetElement(w, (1+dw)/sw))
+				return true
+			})
+			// contrib(v) = Σ_{w: v→w} coeff(w), restricted to depth d-1.
+			contrib, err := grb.VxM(plusFirst, coeff, at)
+			if err != nil {
+				return nil, err
+			}
+			prev := sigmas[d-1]
+			prev.Iterate(func(v grb.Index, sv float64) bool {
+				c, ok, _ := contrib.GetElement(v)
+				if !ok {
+					return true
+				}
+				dv, _, _ := delta.GetElement(v)
+				grb.Must0(delta.SetElement(v, dv+sv*c))
+				return true
+			})
+		}
+		delta.Iterate(func(v grb.Index, dv float64) bool {
+			if v != src {
+				bc[v] += dv
+			}
+			return true
+		})
+	}
+	return bc, nil
+}

@@ -1,0 +1,52 @@
+package lagraph
+
+import (
+	"fmt"
+
+	"repro/internal/grb"
+)
+
+// BFS computes breadth-first levels from src over the boolean adjacency
+// matrix a (edges i→j as entries A_ij). It returns level[v] = hop distance
+// from src, with -1 for unreachable vertices. Each round expands the
+// frontier with a boolean vector-matrix product and prunes visited vertices
+// with a complemented structural mask — the canonical GraphBLAS BFS.
+func BFS(a *grb.Matrix[bool], src int) ([]int, error) {
+	n := a.NRows()
+	if a.NCols() != n {
+		return nil, errNotSquare("BFS", a.NRows(), a.NCols())
+	}
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("lagraph: BFS source %d outside [0,%d)", src, n)
+	}
+	level := make([]int, n)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	frontier := grb.NewVector[bool](n)
+	if err := frontier.SetElement(src, true); err != nil {
+		return nil, err
+	}
+	visited := frontier.Clone()
+	for depth := 1; frontier.NVals() > 0; depth++ {
+		next, err := grb.VxM(grb.OrAnd(), frontier, a)
+		if err != nil {
+			return nil, err
+		}
+		next, err = grb.MaskV(next, visited, true)
+		if err != nil {
+			return nil, err
+		}
+		next.Iterate(func(v grb.Index, _ bool) bool {
+			level[v] = depth
+			return true
+		})
+		visited, err = grb.EWiseAddV(grb.Or, visited, next)
+		if err != nil {
+			return nil, err
+		}
+		frontier = next
+	}
+	return level, nil
+}

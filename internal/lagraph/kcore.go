@@ -1,0 +1,65 @@
+package lagraph
+
+import "repro/internal/grb"
+
+// KCore computes the core number of every vertex of the undirected graph
+// given by the symmetric boolean adjacency matrix a: the largest k such
+// that the vertex belongs to a subgraph in which every vertex has degree
+// ≥ k. Implemented by iterative peeling: repeatedly delete all vertices of
+// minimum remaining degree, using a degree vector maintained with sparse
+// updates (the standard GraphBLAS formulation peels with masked reductions;
+// the per-round bookkeeping here is the dense equivalent).
+func KCore(a *grb.Matrix[bool]) ([]int, error) {
+	n := a.NRows()
+	if a.NCols() != n {
+		return nil, errNotSquare("KCore", a.NRows(), a.NCols())
+	}
+	degV, err := grb.ReduceRows(grb.PlusMonoid[int](), grb.One[bool, int], a)
+	if err != nil {
+		return nil, err
+	}
+	deg := make([]int, n)
+	degV.Iterate(func(i grb.Index, d int) bool {
+		deg[i] = d
+		return true
+	})
+	// Bucket peel (Batagelj–Zaveršnik): O(V + E).
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	buckets := make([][]int, maxDeg+1)
+	for v, d := range deg {
+		buckets[d] = append(buckets[d], v)
+	}
+	core := make([]int, n)
+	removed := make([]bool, n)
+	cur := make([]int, n)
+	copy(cur, deg)
+	k := 0
+	for d := 0; d <= maxDeg; d++ {
+		for len(buckets[d]) > 0 {
+			v := buckets[d][len(buckets[d])-1]
+			buckets[d] = buckets[d][:len(buckets[d])-1]
+			if removed[v] || cur[v] != d {
+				continue // stale bucket entry
+			}
+			if d > k {
+				k = d
+			}
+			core[v] = k
+			removed[v] = true
+			if err := a.ForRow(v, func(w grb.Index, _ bool) {
+				if !removed[w] && cur[w] > d {
+					cur[w]--
+					buckets[cur[w]] = append(buckets[cur[w]], w)
+				}
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return core, nil
+}

@@ -1,0 +1,242 @@
+package lagraph
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/grb"
+)
+
+func TestKCoreSmall(t *testing.T) {
+	// Triangle {0,1,2} (2-core) with pendant chain 3-4 (1-core) and
+	// isolated 5 (0-core).
+	a := symmetricMatrix(6, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}})
+	core, err := KCore(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{2, 2, 2, 1, 1, 0}
+	if !reflect.DeepEqual(core, want) {
+		t.Fatalf("KCore = %v, want %v", core, want)
+	}
+}
+
+func TestKCoreComplete(t *testing.T) {
+	var edges [][2]int
+	const n = 6
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	core, err := KCore(symmetricMatrix(n, edges))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, k := range core {
+		if k != n-1 {
+			t.Fatalf("core[%d] = %d in K%d, want %d", v, k, n, n-1)
+		}
+	}
+}
+
+// Oracle: iterative minimum-degree peeling — at level k, repeatedly delete
+// every vertex whose remaining degree is ≤ k; its core number is k.
+func kcoreOracle(n int, edges [][2]int) []int {
+	adj := make([]map[int]struct{}, n)
+	for i := range adj {
+		adj[i] = map[int]struct{}{}
+	}
+	for _, e := range edges {
+		if e[0] == e[1] {
+			continue
+		}
+		adj[e[0]][e[1]] = struct{}{}
+		adj[e[1]][e[0]] = struct{}{}
+	}
+	core := make([]int, n)
+	removed := make([]bool, n)
+	remaining := n
+	for k := 0; remaining > 0; k++ {
+		for {
+			changed := false
+			for v := 0; v < n; v++ {
+				if removed[v] || len(adj[v]) > k {
+					continue
+				}
+				core[v] = k
+				removed[v] = true
+				remaining--
+				for w := range adj[v] {
+					delete(adj[w], v)
+				}
+				adj[v] = map[int]struct{}{}
+				changed = true
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return core
+}
+
+func TestKCoreAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 15; trial++ {
+		n := 10 + rng.Intn(50)
+		m := rng.Intn(4 * n)
+		var edges [][2]int
+		seen := map[[2]int]bool{}
+		for k := 0; k < m; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			if i > j {
+				i, j = j, i
+			}
+			if seen[[2]int{i, j}] {
+				continue
+			}
+			seen[[2]int{i, j}] = true
+			edges = append(edges, [2]int{i, j})
+		}
+		got, err := KCore(symmetricMatrix(n, edges))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := kcoreOracle(n, edges)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: KCore %v, oracle %v (edges %v)", trial, got, want, edges)
+		}
+	}
+}
+
+func TestKCoreNonSquare(t *testing.T) {
+	if _, err := KCore(grb.NewMatrix[bool](2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}
+
+func TestBetweennessPath(t *testing.T) {
+	// Undirected path 0-1-2-3: exact betweenness (both directions as
+	// sources) gives 1: 2·(1·2)/... compute: pairs passing through v=1:
+	// (0,2),(0,3),(2,0),(3,0) → wait directed both ways: through 1:
+	// 0→2, 0→3, 2→0? no — 2→0 passes via 1, 3→0 too, plus 1 is endpoint
+	// otherwise. Through 1: {0→2, 0→3, 3→0, 2→0} = 4. Same for 2.
+	a := symmetricMatrix(4, [][2]int{{0, 1}, {1, 2}, {2, 3}})
+	bc, err := BetweennessCentrality(a, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 4, 4, 0}
+	for v := range want {
+		if math.Abs(bc[v]-want[v]) > 1e-9 {
+			t.Fatalf("bc = %v, want %v", bc, want)
+		}
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	// Star centred at 0 with 4 leaves: every leaf pair's shortest path
+	// passes the hub: 4·3 = 12 ordered pairs.
+	a := symmetricMatrix(5, [][2]int{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	bc, err := BetweennessCentrality(a, []int{0, 1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(bc[0]-12) > 1e-9 {
+		t.Fatalf("hub bc = %g, want 12", bc[0])
+	}
+	for v := 1; v < 5; v++ {
+		if math.Abs(bc[v]) > 1e-9 {
+			t.Fatalf("leaf bc[%d] = %g, want 0", v, bc[v])
+		}
+	}
+}
+
+func TestBetweennessAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		n := 6 + rng.Intn(10)
+		var edges [][2]int
+		seen := map[[2]int]bool{}
+		for k := 0; k < 2*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			if i > j {
+				i, j = j, i
+			}
+			if seen[[2]int{i, j}] {
+				continue
+			}
+			seen[[2]int{i, j}] = true
+			edges = append(edges, [2]int{i, j})
+		}
+		a := symmetricMatrix(n, edges)
+		sources := make([]int, n)
+		for i := range sources {
+			sources[i] = i
+		}
+		got, err := BetweennessCentrality(a, sources)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteBetweenness(n, edges)
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-6 {
+				t.Fatalf("trial %d: bc[%d] = %g, brute %g", trial, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+// bruteBetweenness enumerates all shortest paths with BFS path counting.
+func bruteBetweenness(n int, edges [][2]int) []float64 {
+	adj := make([][]int, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	bc := make([]float64, n)
+	for s := 0; s < n; s++ {
+		dist := make([]int, n)
+		sigma := make([]float64, n)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		sigma[s] = 1
+		order := []int{s}
+		for q := 0; q < len(order); q++ {
+			v := order[q]
+			for _, w := range adj[v] {
+				if dist[w] == -1 {
+					dist[w] = dist[v] + 1
+					order = append(order, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+				}
+			}
+		}
+		delta := make([]float64, n)
+		for q := len(order) - 1; q >= 0; q-- {
+			v := order[q]
+			for _, w := range adj[v] {
+				if dist[w] == dist[v]+1 {
+					delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+				}
+			}
+			if v != s {
+				bc[v] += delta[v]
+			}
+		}
+	}
+	return bc
+}

@@ -1,0 +1,17 @@
+// Package lagraph collects graph algorithms built on top of the grb engine,
+// mirroring the role of the LAGraph library (Mattson et al., "LAGraph: a
+// community effort to collect graph algorithms built on top of the
+// GraphBLAS") in the paper's solution. The central algorithm for the Social
+// Media case study is FastSV connected components (Zhang, Azad, Hu, "FastSV:
+// a distributed-memory connected component algorithm with fast
+// convergence"), used in step 3 of the batch Q2 query; the package also
+// provides a label-propagation CC for cross-checking, a plain union-find,
+// and the usual demonstration kit (BFS, PageRank, triangle counting).
+package lagraph
+
+import "fmt"
+
+// errNotSquare reports a non-square adjacency matrix.
+func errNotSquare(op string, a int, b int) error {
+	return fmt.Errorf("lagraph: %s requires a square adjacency matrix, got %d×%d", op, a, b)
+}

@@ -1,0 +1,80 @@
+package lagraph
+
+import (
+	"math"
+
+	"repro/internal/grb"
+)
+
+// PageRankResult carries the rank vector and convergence diagnostics.
+type PageRankResult struct {
+	Ranks      []float64
+	Iterations int
+	Delta      float64 // final L1 change
+}
+
+// PageRank computes the PageRank of the directed graph a (edges i→j) with
+// damping factor d, iterating until the L1 change drops below tol or
+// maxIter rounds elapse. Dangling vertices redistribute their mass
+// uniformly. Ranks sum to 1.
+func PageRank(a *grb.Matrix[bool], d float64, tol float64, maxIter int) (*PageRankResult, error) {
+	n := a.NRows()
+	if a.NCols() != n {
+		return nil, errNotSquare("PageRank", a.NRows(), a.NCols())
+	}
+	if n == 0 {
+		return &PageRankResult{Ranks: nil}, nil
+	}
+	// Out-degrees; rows with no entries are dangling.
+	deg, err := grb.ReduceRows(grb.PlusMonoid[float64](), grb.One[bool, float64], a)
+	if err != nil {
+		return nil, err
+	}
+	outDeg := make([]float64, n)
+	deg.Iterate(func(i grb.Index, x float64) bool {
+		outDeg[i] = x
+		return true
+	})
+	ranks := make([]float64, n)
+	for i := range ranks {
+		ranks[i] = 1 / float64(n)
+	}
+	scaled := make([]float64, n)
+	res := &PageRankResult{}
+	for iter := 0; iter < maxIter; iter++ {
+		dangling := 0.0
+		for i := range ranks {
+			if outDeg[i] > 0 {
+				scaled[i] = ranks[i] / outDeg[i]
+			} else {
+				scaled[i] = 0
+				dangling += ranks[i]
+			}
+		}
+		contrib, err := grb.VxM(grb.PlusFirst[float64, bool](), grb.VectorFromSlice(scaled), a)
+		if err != nil {
+			return nil, err
+		}
+		base := (1-d)/float64(n) + d*dangling/float64(n)
+		next := make([]float64, n)
+		for i := range next {
+			next[i] = base
+		}
+		contrib.Iterate(func(j grb.Index, x float64) bool {
+			next[j] += d * x
+			return true
+		})
+		delta := 0.0
+		for i := range next {
+			delta += math.Abs(next[i] - ranks[i])
+		}
+		copy(ranks, next)
+		res.Iterations = iter + 1
+		res.Delta = delta
+		if delta < tol {
+			break
+		}
+	}
+	res.Ranks = ranks
+	return res, nil
+}

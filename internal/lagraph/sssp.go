@@ -1,0 +1,104 @@
+package lagraph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grb"
+)
+
+// SSSP computes single-source shortest path distances over a non-negative
+// weighted directed graph (entries A_ij = weight of edge i→j) by Bellman-
+// Ford-style relaxation in the (min, +) semiring: each round relaxes the
+// frontier through d′ = d min.+ A and keeps the strictly improved entries
+// as the next frontier. Unreachable vertices report +Inf. Negative weights
+// are rejected.
+func SSSP(a *grb.Matrix[float64], src int) ([]float64, error) {
+	n := a.NRows()
+	if a.NCols() != n {
+		return nil, errNotSquare("SSSP", a.NRows(), a.NCols())
+	}
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("lagraph: SSSP source %d outside [0,%d)", src, n)
+	}
+	neg := false
+	a.Iterate(func(_, _ grb.Index, w float64) bool {
+		if w < 0 {
+			neg = true
+			return false
+		}
+		return true
+	})
+	if neg {
+		return nil, fmt.Errorf("lagraph: SSSP requires non-negative weights")
+	}
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	// MinPlus semiring: mul(frontierDist, edgeWeight) = sum; add = min.
+	minPlus := grb.Semiring[float64, float64, float64]{
+		Add: grb.MinMonoid(math.Inf(1)),
+		Mul: grb.Plus[float64],
+	}
+	frontier := grb.NewVector[float64](n)
+	if err := frontier.SetElement(src, 0); err != nil {
+		return nil, err
+	}
+	for round := 0; round < n && frontier.NVals() > 0; round++ {
+		relaxed, err := grb.VxM(minPlus, frontier, a)
+		if err != nil {
+			return nil, err
+		}
+		next := grb.NewVector[float64](n)
+		relaxed.Iterate(func(v grb.Index, d float64) bool {
+			if d < dist[v] {
+				dist[v] = d
+				grb.Must0(next.SetElement(v, d))
+			}
+			return true
+		})
+		frontier = next
+	}
+	return dist, nil
+}
+
+// LocalClusteringCoefficients returns, per vertex, the ratio of closed
+// triangles among its neighbours: 2·tri(v) / (deg(v)·(deg(v)−1)), with 0
+// for degree < 2. a must be a symmetric boolean adjacency matrix without
+// self-loops. Per-vertex triangle counts come from the diagonal-free
+// masked product C⟨A⟩ = A ⊕.⊗ A over plus_pair: C(i,j) counts common
+// neighbours of the adjacent pair (i,j), and Σ_j C(i,j) = 2·tri(i).
+func LocalClusteringCoefficients(a *grb.Matrix[bool]) ([]float64, error) {
+	n := a.NRows()
+	if a.NCols() != n {
+		return nil, errNotSquare("LocalClusteringCoefficients", a.NRows(), a.NCols())
+	}
+	c, err := grb.MxMMasked(grb.PlusPair[bool, bool](), a, a, a, false)
+	if err != nil {
+		return nil, err
+	}
+	wedgeClosures, err := grb.ReduceRows(grb.PlusMonoid[int](), grb.Ident[int], c)
+	if err != nil {
+		return nil, err
+	}
+	deg, err := grb.ReduceRows(grb.PlusMonoid[int](), grb.One[bool, int], a)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	degOf := make([]int, n)
+	deg.Iterate(func(i grb.Index, d int) bool {
+		degOf[i] = d
+		return true
+	})
+	wedgeClosures.Iterate(func(i grb.Index, twice int) bool {
+		d := degOf[i]
+		if d >= 2 {
+			out[i] = float64(twice) / float64(d*(d-1))
+		}
+		return true
+	})
+	return out, nil
+}

@@ -1,0 +1,166 @@
+package lagraph
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/grb"
+)
+
+func TestSSSPSmall(t *testing.T) {
+	//      1        4
+	//  0 ────→ 1 ────→ 2
+	//  └───────10──────↑
+	a := grb.NewMatrix[float64](4, 4)
+	grb.Must0(a.SetElement(0, 1, 1))
+	grb.Must0(a.SetElement(1, 2, 4))
+	grb.Must0(a.SetElement(0, 2, 10))
+	dist, err := SSSP(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 1, 5, math.Inf(1)}
+	for i := range want {
+		if dist[i] != want[i] {
+			t.Fatalf("dist[%d] = %g, want %g", i, dist[i], want[i])
+		}
+	}
+}
+
+func TestSSSPErrors(t *testing.T) {
+	if _, err := SSSP(grb.NewMatrix[float64](2, 3), 0); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, err := SSSP(grb.NewMatrix[float64](2, 2), 5); err == nil {
+		t.Fatal("bad source accepted")
+	}
+	a := grb.NewMatrix[float64](2, 2)
+	grb.Must0(a.SetElement(0, 1, -1))
+	if _, err := SSSP(a, 0); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}
+
+// Dijkstra oracle for the property test.
+type pqItem struct {
+	v int
+	d float64
+}
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].d < q[j].d }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+func dijkstra(n int, adj map[int]map[int]float64, src int) []float64 {
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	q := &pq{{src, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.d > dist[it.v] {
+			continue
+		}
+		for w, wt := range adj[it.v] {
+			if nd := it.d + wt; nd < dist[w] {
+				dist[w] = nd
+				heap.Push(q, pqItem{w, nd})
+			}
+		}
+	}
+	return dist
+}
+
+func TestSSSPAgainstDijkstra(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		n := 5 + rng.Intn(40)
+		a := grb.NewMatrix[float64](n, n)
+		adj := map[int]map[int]float64{}
+		for k := 0; k < 4*n; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			w := float64(1+rng.Intn(20)) / 2
+			grb.Must0(a.SetElement(i, j, w))
+			if adj[i] == nil {
+				adj[i] = map[int]float64{}
+			}
+			adj[i][j] = w // SetElement overwrites; the map mirrors that
+		}
+		got, err := SSSP(a, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := dijkstra(n, adj, 0)
+		for v := range want {
+			if math.Abs(got[v]-want[v]) > 1e-9 && !(math.IsInf(got[v], 1) && math.IsInf(want[v], 1)) {
+				t.Fatalf("trial %d: dist[%d] = %g, dijkstra %g", trial, v, got[v], want[v])
+			}
+		}
+	}
+}
+
+func TestLocalClusteringCoefficients(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 3 attached to 2.
+	a := symmetricMatrix(4, [][2]int{{0, 1}, {1, 2}, {0, 2}, {2, 3}})
+	lcc, err := LocalClusteringCoefficients(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 1.0 / 3.0, 0}
+	for i := range want {
+		if math.Abs(lcc[i]-want[i]) > 1e-12 {
+			t.Fatalf("lcc[%d] = %g, want %g", i, lcc[i], want[i])
+		}
+	}
+}
+
+func TestLocalClusteringCoefficientsComplete(t *testing.T) {
+	// K5: every coefficient is 1.
+	var edges [][2]int
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	a := symmetricMatrix(5, edges)
+	lcc, err := LocalClusteringCoefficients(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range lcc {
+		if math.Abs(c-1) > 1e-12 {
+			t.Fatalf("lcc[%d] = %g in K5", i, c)
+		}
+	}
+}
+
+func TestLocalClusteringCoefficientsEmpty(t *testing.T) {
+	lcc, err := LocalClusteringCoefficients(grb.NewMatrix[bool](3, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range lcc {
+		if c != 0 {
+			t.Fatalf("lcc[%d] = %g on empty graph", i, c)
+		}
+	}
+	if _, err := LocalClusteringCoefficients(grb.NewMatrix[bool](2, 3)); err == nil {
+		t.Fatal("non-square accepted")
+	}
+}

@@ -1,0 +1,22 @@
+package lagraph
+
+import "repro/internal/grb"
+
+// TriangleCount counts triangles in the undirected graph given by the
+// symmetric boolean adjacency matrix a, using the masked Sandia scheme:
+// with L the strictly lower triangle, C⟨L⟩ = L ⊕.⊗ Lᵀ over the plus_pair
+// semiring counts, for every edge (i,j) with j < i, the common lower
+// neighbours of i and j; the grand total is the triangle count, each
+// triangle counted exactly once.
+func TriangleCount(a *grb.Matrix[bool]) (int64, error) {
+	n := a.NRows()
+	if a.NCols() != n {
+		return 0, errNotSquare("TriangleCount", a.NRows(), a.NCols())
+	}
+	l := grb.Tril(a, -1)
+	c, err := grb.MxMMasked(grb.PlusPair[bool, bool](), l, grb.Transpose(l), l, false)
+	if err != nil {
+		return 0, err
+	}
+	return int64(grb.ReduceMatrixToScalar(grb.PlusMonoid[int](), grb.Ident[int], c)), nil
+}

@@ -1,0 +1,62 @@
+package model
+
+// ExampleDataset returns the running example of the paper (Fig. 3): two
+// posts, three comments, four users, and one change set inserting a
+// friendship, a like, and a new comment with its rootPost edge and an
+// incoming like.
+//
+// Ground truth, verified in Fig. 3 and Fig. 4 of the paper:
+//
+//	initial  Q1: p1 = 25, p2 = 10
+//	initial  Q2: c1 = 4 (one component {u2,u3}),
+//	             c2 = 5 (components {u1} and {u3,u4}), c3 = 0
+//	updated  Q1: p1 = 25+12 = 37 (Δscores has only p1), p2 = 10
+//	updated  Q2: c2 = 16 (single component {u1,u2,u3,u4}), c4 = 1,
+//	             c1 = 4 unchanged
+func ExampleDataset() *Dataset {
+	s := &Snapshot{
+		Posts: []Post{
+			{ID: P1, Timestamp: 10},
+			{ID: P2, Timestamp: 20},
+		},
+		Comments: []Comment{
+			{ID: C1, Timestamp: 30, ParentID: P1, PostID: P1},
+			{ID: C2, Timestamp: 40, ParentID: C1, PostID: P1},
+			{ID: C3, Timestamp: 50, ParentID: P2, PostID: P2},
+		},
+		Users: []User{{ID: U1}, {ID: U2}, {ID: U3}, {ID: U4}},
+		Friendships: []Friendship{
+			{User1: U2, User2: U3},
+			{User1: U3, User2: U4},
+		},
+		Likes: []Like{
+			{UserID: U2, CommentID: C1},
+			{UserID: U3, CommentID: C1},
+			{UserID: U1, CommentID: C2},
+			{UserID: U3, CommentID: C2},
+			{UserID: U4, CommentID: C2},
+		},
+	}
+	update := ChangeSet{Changes: []Change{
+		{Kind: KindAddFriendship, Friendship: Friendship{User1: U1, User2: U4}},
+		{Kind: KindAddLike, Like: Like{UserID: U2, CommentID: C2}},
+		{Kind: KindAddComment, Comment: Comment{ID: C4, Timestamp: 60, ParentID: C1, PostID: P1}},
+		{Kind: KindAddLike, Like: Like{UserID: U4, CommentID: C4}},
+	}}
+	return &Dataset{Snapshot: s, ChangeSets: []ChangeSet{update}}
+}
+
+// Entity ids of the running example, exported so tests and examples can
+// reference p1, c2, u4, … by name.
+const (
+	P1 ID = 101
+	P2 ID = 102
+	C1 ID = 201
+	C2 ID = 202
+	C3 ID = 203
+	C4 ID = 204
+	U1 ID = 1
+	U2 ID = 2
+	U3 ID = 3
+	U4 ID = 4
+)

@@ -1,0 +1,52 @@
+package model
+
+import "fmt"
+
+// IDMap maintains a dense, insertion-ordered mapping between external
+// entity ids and matrix indices. GraphBLAS matrices are indexed 0..n-1, so
+// every entity kind gets its own IDMap; new entities appended by change
+// sets extend the mapping (and hence the matrix dimension |posts′|,
+// |comments′|, |users′| of the incremental algorithms).
+type IDMap struct {
+	toIndex map[ID]int
+	toID    []ID
+}
+
+// NewIDMap returns an empty mapping.
+func NewIDMap() *IDMap {
+	return &IDMap{toIndex: make(map[ID]int)}
+}
+
+// Add inserts id and returns its dense index. Adding an existing id returns
+// the existing index (idempotent), matching insert-only replays.
+func (m *IDMap) Add(id ID) int {
+	if idx, ok := m.toIndex[id]; ok {
+		return idx
+	}
+	idx := len(m.toID)
+	m.toIndex[id] = idx
+	m.toID = append(m.toID, id)
+	return idx
+}
+
+// Index returns the dense index of id and whether it is known.
+func (m *IDMap) Index(id ID) (int, bool) {
+	idx, ok := m.toIndex[id]
+	return idx, ok
+}
+
+// MustIndex returns the dense index of id, panicking on unknown ids —
+// dataset integrity is validated at load time, so a miss is a bug.
+func (m *IDMap) MustIndex(id ID) int {
+	idx, ok := m.toIndex[id]
+	if !ok {
+		panic(fmt.Sprintf("model: unknown id %d", id))
+	}
+	return idx
+}
+
+// IDOf returns the external id at dense index idx.
+func (m *IDMap) IDOf(idx int) ID { return m.toID[idx] }
+
+// Len reports the number of mapped ids.
+func (m *IDMap) Len() int { return len(m.toID) }

@@ -1,0 +1,211 @@
+// Package model defines the data model of the TTC 2018 "Social Media" case:
+// Users and their Submissions (a Post is the root of a tree of Comments),
+// likes edges from Users to Comments, and undirected friends edges between
+// Users (Hinkel, "The TTC 2018 Social Media case"; schema derived from the
+// LDBC Social Network Benchmark). It also defines the change sets applied
+// during the benchmark's update phases, dense id↔index mapping, CSV
+// serialization, and referential-integrity validation.
+//
+// The model is the neutral interchange format: both the GraphBLAS solution
+// and the NMF-style reference solution load the same Snapshot and ChangeSet
+// values.
+package model
+
+import "fmt"
+
+// ID is an external entity identifier as found in the dataset files. Posts,
+// comments and users draw from independent id spaces.
+type ID = int64
+
+// Post is a root submission.
+type Post struct {
+	ID        ID
+	Timestamp int64 // creation time; newer posts win score ties
+}
+
+// Comment is a non-root submission. ParentID points to the submission it
+// replies to (a post or another comment); PostID is the direct pointer to
+// the root post the case model mandates for quick lookups.
+type Comment struct {
+	ID        ID
+	Timestamp int64
+	ParentID  ID
+	PostID    ID
+}
+
+// User participates by submitting, liking and befriending.
+type User struct {
+	ID ID
+}
+
+// Friendship is an undirected friends edge between two users.
+type Friendship struct {
+	User1, User2 ID
+}
+
+// Like is a likes edge from a user to a comment.
+type Like struct {
+	UserID    ID
+	CommentID ID
+}
+
+// Snapshot is the initial state of the social network.
+type Snapshot struct {
+	Posts       []Post
+	Comments    []Comment
+	Users       []User
+	Friendships []Friendship
+	Likes       []Like
+}
+
+// Clone returns a deep copy of the snapshot.
+func (s *Snapshot) Clone() *Snapshot {
+	c := &Snapshot{
+		Posts:       append([]Post(nil), s.Posts...),
+		Comments:    append([]Comment(nil), s.Comments...),
+		Users:       append([]User(nil), s.Users...),
+		Friendships: append([]Friendship(nil), s.Friendships...),
+		Likes:       append([]Like(nil), s.Likes...),
+	}
+	return c
+}
+
+// NodeCount reports the number of model elements that are nodes.
+func (s *Snapshot) NodeCount() int {
+	return len(s.Posts) + len(s.Comments) + len(s.Users)
+}
+
+// EdgeCount reports the number of model references counted as edges: each
+// comment contributes its commented edge and its rootPost pointer, plus the
+// friendships and likes.
+func (s *Snapshot) EdgeCount() int {
+	return 2*len(s.Comments) + len(s.Friendships) + len(s.Likes)
+}
+
+// Change is one model modification. Exactly one field group is used,
+// selected by Kind. The 2018 live contest is insert-only; the removal kinds
+// implement the paper's future-work scenario of "more realistic update
+// operations, including both insertions and removals" (edge removals:
+// unliking and unfriending).
+type Change struct {
+	Kind ChangeKind
+
+	Post       Post       // KindAddPost
+	Comment    Comment    // KindAddComment
+	User       User       // KindAddUser
+	Friendship Friendship // KindAddFriendship, KindRemoveFriendship
+	Like       Like       // KindAddLike, KindRemoveLike
+}
+
+// ChangeKind discriminates Change values.
+type ChangeKind uint8
+
+// The change kinds: the case study's insertions plus the future-work edge
+// removals.
+const (
+	KindAddPost ChangeKind = iota
+	KindAddComment
+	KindAddUser
+	KindAddFriendship
+	KindAddLike
+	KindRemoveFriendship
+	KindRemoveLike
+)
+
+// String names the change kind.
+func (k ChangeKind) String() string {
+	switch k {
+	case KindAddPost:
+		return "AddPost"
+	case KindAddComment:
+		return "AddComment"
+	case KindAddUser:
+		return "AddUser"
+	case KindAddFriendship:
+		return "AddFriendship"
+	case KindAddLike:
+		return "AddLike"
+	case KindRemoveFriendship:
+		return "RemoveFriendship"
+	case KindRemoveLike:
+		return "RemoveLike"
+	default:
+		return fmt.Sprintf("ChangeKind(%d)", uint8(k))
+	}
+}
+
+// IsRemoval reports whether the kind deletes model content.
+func (k ChangeKind) IsRemoval() bool {
+	return k == KindRemoveFriendship || k == KindRemoveLike
+}
+
+// HasRemovals reports whether the change set contains any removal.
+func (cs *ChangeSet) HasRemovals() bool {
+	for i := range cs.Changes {
+		if cs.Changes[i].Kind.IsRemoval() {
+			return true
+		}
+	}
+	return false
+}
+
+// ChangeSet is one benchmark update step: a batch of insertions applied
+// atomically before reevaluating the queries.
+type ChangeSet struct {
+	Changes []Change
+}
+
+// Size reports the number of inserted elements.
+func (cs *ChangeSet) Size() int { return len(cs.Changes) }
+
+// Dataset bundles an initial snapshot with its update sequence.
+type Dataset struct {
+	Snapshot   *Snapshot
+	ChangeSets []ChangeSet
+}
+
+// TotalInserts reports the number of inserted elements across all change
+// sets (the "#inserts" column of Table II).
+func (d *Dataset) TotalInserts() int {
+	total := 0
+	for i := range d.ChangeSets {
+		total += d.ChangeSets[i].Size()
+	}
+	return total
+}
+
+// Apply appends a change set's entities to the snapshot in place. It is the
+// reference semantics of an update step; engines maintain their own
+// incremental state but tests validate against an applied snapshot.
+func (s *Snapshot) Apply(cs *ChangeSet) {
+	for _, ch := range cs.Changes {
+		switch ch.Kind {
+		case KindAddPost:
+			s.Posts = append(s.Posts, ch.Post)
+		case KindAddComment:
+			s.Comments = append(s.Comments, ch.Comment)
+		case KindAddUser:
+			s.Users = append(s.Users, ch.User)
+		case KindAddFriendship:
+			s.Friendships = append(s.Friendships, ch.Friendship)
+		case KindAddLike:
+			s.Likes = append(s.Likes, ch.Like)
+		case KindRemoveFriendship:
+			for i := range s.Friendships {
+				f := s.Friendships[i]
+				if (f.User1 == ch.Friendship.User1 && f.User2 == ch.Friendship.User2) ||
+					(f.User1 == ch.Friendship.User2 && f.User2 == ch.Friendship.User1) {
+					s.Friendships = append(s.Friendships[:i], s.Friendships[i+1:]...)
+					break
+				}
+			}
+		case KindRemoveLike:
+			for i := range s.Likes {
+				if s.Likes[i] == ch.Like {
+					s.Likes = append(s.Likes[:i], s.Likes[i+1:]...)
+					break
+				}
+			}
+		}
+	}
+}

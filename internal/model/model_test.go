@@ -1,0 +1,190 @@
+package model
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestExampleDatasetValidates(t *testing.T) {
+	if err := Validate(ExampleDataset()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExampleDatasetCounts(t *testing.T) {
+	d := ExampleDataset()
+	if got := d.Snapshot.NodeCount(); got != 9 {
+		t.Fatalf("NodeCount = %d, want 9 (2 posts + 3 comments + 4 users)", got)
+	}
+	// 3 comments × 2 (commented + rootPost) + 2 friendships + 5 likes
+	if got := d.Snapshot.EdgeCount(); got != 13 {
+		t.Fatalf("EdgeCount = %d, want 13", got)
+	}
+	if got := d.TotalInserts(); got != 4 {
+		t.Fatalf("TotalInserts = %d, want 4", got)
+	}
+}
+
+func TestApplyGrowsSnapshot(t *testing.T) {
+	d := ExampleDataset()
+	s := d.Snapshot.Clone()
+	s.Apply(&d.ChangeSets[0])
+	if len(s.Comments) != 4 {
+		t.Fatalf("comments = %d, want 4", len(s.Comments))
+	}
+	if len(s.Likes) != 7 {
+		t.Fatalf("likes = %d, want 7", len(s.Likes))
+	}
+	if len(s.Friendships) != 3 {
+		t.Fatalf("friendships = %d, want 3", len(s.Friendships))
+	}
+	// The original must be untouched.
+	if len(d.Snapshot.Comments) != 3 {
+		t.Fatal("Apply on a clone mutated the original snapshot")
+	}
+}
+
+func TestIDMap(t *testing.T) {
+	m := NewIDMap()
+	a := m.Add(100)
+	b := m.Add(200)
+	if a != 0 || b != 1 {
+		t.Fatalf("indices = %d,%d, want 0,1", a, b)
+	}
+	if m.Add(100) != 0 {
+		t.Fatal("re-adding must be idempotent")
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if idx, ok := m.Index(200); !ok || idx != 1 {
+		t.Fatalf("Index(200) = %d,%v", idx, ok)
+	}
+	if _, ok := m.Index(999); ok {
+		t.Fatal("unknown id reported present")
+	}
+	if m.IDOf(1) != 200 {
+		t.Fatalf("IDOf(1) = %d, want 200", m.IDOf(1))
+	}
+}
+
+func TestIDMapMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustIndex on unknown id must panic")
+		}
+	}()
+	NewIDMap().MustIndex(42)
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	base := func() *Dataset { return ExampleDataset() }
+
+	cases := []struct {
+		name   string
+		mutate func(*Dataset)
+	}{
+		{"duplicate post", func(d *Dataset) {
+			d.Snapshot.Posts = append(d.Snapshot.Posts, Post{ID: P1})
+		}},
+		{"duplicate user", func(d *Dataset) {
+			d.Snapshot.Users = append(d.Snapshot.Users, User{ID: U1})
+		}},
+		{"duplicate comment", func(d *Dataset) {
+			d.Snapshot.Comments = append(d.Snapshot.Comments, Comment{ID: C1, ParentID: P1, PostID: P1})
+		}},
+		{"comment missing root", func(d *Dataset) {
+			d.Snapshot.Comments = append(d.Snapshot.Comments, Comment{ID: 999, ParentID: P1, PostID: 888})
+		}},
+		{"comment missing parent", func(d *Dataset) {
+			d.Snapshot.Comments = append(d.Snapshot.Comments, Comment{ID: 999, ParentID: 888, PostID: P1})
+		}},
+		{"comment root inconsistent with parent", func(d *Dataset) {
+			d.Snapshot.Comments = append(d.Snapshot.Comments, Comment{ID: 999, ParentID: C3, PostID: P1})
+		}},
+		{"comment replying to wrong post", func(d *Dataset) {
+			d.Snapshot.Comments = append(d.Snapshot.Comments, Comment{ID: 999, ParentID: P2, PostID: P1})
+		}},
+		{"self friendship", func(d *Dataset) {
+			d.Snapshot.Friendships = append(d.Snapshot.Friendships, Friendship{User1: U1, User2: U1})
+		}},
+		{"friendship missing user", func(d *Dataset) {
+			d.Snapshot.Friendships = append(d.Snapshot.Friendships, Friendship{User1: U1, User2: 999})
+		}},
+		{"like missing comment", func(d *Dataset) {
+			d.Snapshot.Likes = append(d.Snapshot.Likes, Like{UserID: U1, CommentID: 999})
+		}},
+		{"like missing user", func(d *Dataset) {
+			d.Snapshot.Likes = append(d.Snapshot.Likes, Like{UserID: 999, CommentID: C1})
+		}},
+		{"bad change set", func(d *Dataset) {
+			d.ChangeSets = append(d.ChangeSets, ChangeSet{Changes: []Change{
+				{Kind: KindAddLike, Like: Like{UserID: U1, CommentID: 12345}},
+			}})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := base()
+			tc.mutate(d)
+			if err := Validate(d); !errors.Is(err, ErrIntegrity) {
+				t.Fatalf("Validate = %v, want integrity violation", err)
+			}
+		})
+	}
+}
+
+func TestValidateChangeReferencingEarlierChange(t *testing.T) {
+	// A like in change set 2 may reference a comment added in change set 1.
+	d := ExampleDataset()
+	d.ChangeSets = append(d.ChangeSets, ChangeSet{Changes: []Change{
+		{Kind: KindAddLike, Like: Like{UserID: U1, CommentID: C4}},
+	}})
+	if err := Validate(d); err != nil {
+		t.Fatalf("cross-change-set reference rejected: %v", err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := ExampleDataset()
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := WriteDataset(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.Snapshot, got.Snapshot) {
+		t.Fatalf("snapshot round-trip mismatch:\nwant %+v\ngot  %+v", d.Snapshot, got.Snapshot)
+	}
+	if !reflect.DeepEqual(d.ChangeSets, got.ChangeSets) {
+		t.Fatalf("change sets round-trip mismatch:\nwant %+v\ngot  %+v", d.ChangeSets, got.ChangeSets)
+	}
+}
+
+func TestReadDatasetMissingDir(t *testing.T) {
+	if _, err := ReadDataset(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("expected error for missing directory")
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	names := map[ChangeKind]string{
+		KindAddPost:       "AddPost",
+		KindAddComment:    "AddComment",
+		KindAddUser:       "AddUser",
+		KindAddFriendship: "AddFriendship",
+		KindAddLike:       "AddLike",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+	if ChangeKind(99).String() == "" {
+		t.Fatal("unknown kind must still render")
+	}
+}

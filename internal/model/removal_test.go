@@ -1,0 +1,135 @@
+package model
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func withRemovals() *Dataset {
+	d := ExampleDataset()
+	d.ChangeSets = append(d.ChangeSets, ChangeSet{Changes: []Change{
+		{Kind: KindRemoveLike, Like: Like{UserID: U2, CommentID: C2}},
+		{Kind: KindRemoveFriendship, Friendship: Friendship{User1: U1, User2: U4}},
+	}})
+	return d
+}
+
+func TestValidateAcceptsRemovals(t *testing.T) {
+	if err := Validate(withRemovals()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsBadRemovals(t *testing.T) {
+	cases := []struct {
+		name string
+		ch   Change
+	}{
+		{"unlike never liked", Change{Kind: KindRemoveLike, Like: Like{UserID: U1, CommentID: C1}}},
+		{"unfriend strangers", Change{Kind: KindRemoveFriendship, Friendship: Friendship{User1: U1, User2: U2}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := ExampleDataset()
+			d.ChangeSets = append(d.ChangeSets, ChangeSet{Changes: []Change{tc.ch}})
+			if err := Validate(d); !errors.Is(err, ErrIntegrity) {
+				t.Fatalf("Validate = %v, want integrity violation", err)
+			}
+		})
+	}
+}
+
+func TestValidateRejectsDoubleRemoval(t *testing.T) {
+	d := ExampleDataset()
+	rm := Change{Kind: KindRemoveLike, Like: Like{UserID: U2, CommentID: C1}}
+	d.ChangeSets = append(d.ChangeSets, ChangeSet{Changes: []Change{rm, rm}})
+	if err := Validate(d); !errors.Is(err, ErrIntegrity) {
+		t.Fatalf("Validate = %v, want integrity violation on second removal", err)
+	}
+}
+
+func TestValidateAllowsReAddAfterRemoval(t *testing.T) {
+	d := ExampleDataset()
+	d.ChangeSets = append(d.ChangeSets,
+		ChangeSet{Changes: []Change{
+			{Kind: KindRemoveFriendship, Friendship: Friendship{User1: U2, User2: U3}},
+		}},
+		ChangeSet{Changes: []Change{
+			{Kind: KindAddFriendship, Friendship: Friendship{User1: U3, User2: U2}},
+		}},
+	)
+	if err := Validate(d); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyRemovals(t *testing.T) {
+	d := withRemovals()
+	s := d.Snapshot.Clone()
+	for i := range d.ChangeSets {
+		s.Apply(&d.ChangeSets[i])
+	}
+	// ChangeSet 1 added a like (u2→c2) and a friendship (u1–u4); change
+	// set 2 removed both again.
+	if len(s.Likes) != 6 { // 5 initial + u4→c4
+		t.Fatalf("likes = %d, want 6", len(s.Likes))
+	}
+	for _, l := range s.Likes {
+		if l.UserID == U2 && l.CommentID == C2 {
+			t.Fatal("removed like still present")
+		}
+	}
+	if len(s.Friendships) != 2 {
+		t.Fatalf("friendships = %d, want 2", len(s.Friendships))
+	}
+}
+
+func TestApplyRemovesReversedFriendship(t *testing.T) {
+	s := &Snapshot{
+		Users:       []User{{ID: 1}, {ID: 2}},
+		Friendships: []Friendship{{User1: 1, User2: 2}},
+	}
+	s.Apply(&ChangeSet{Changes: []Change{
+		{Kind: KindRemoveFriendship, Friendship: Friendship{User1: 2, User2: 1}},
+	}})
+	if len(s.Friendships) != 0 {
+		t.Fatal("reversed-order removal missed the friendship")
+	}
+}
+
+func TestCSVRoundTripWithRemovals(t *testing.T) {
+	d := withRemovals()
+	dir := filepath.Join(t.TempDir(), "ds")
+	if err := WriteDataset(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d.ChangeSets, got.ChangeSets) {
+		t.Fatalf("change sets mismatch:\nwant %+v\ngot  %+v", d.ChangeSets, got.ChangeSets)
+	}
+}
+
+func TestChangeKindRemovalHelpers(t *testing.T) {
+	if !KindRemoveLike.IsRemoval() || !KindRemoveFriendship.IsRemoval() {
+		t.Fatal("removal kinds misclassified")
+	}
+	if KindAddLike.IsRemoval() {
+		t.Fatal("AddLike classified as removal")
+	}
+	cs := &ChangeSet{Changes: []Change{{Kind: KindAddLike}}}
+	if cs.HasRemovals() {
+		t.Fatal("insert-only set reports removals")
+	}
+	cs.Changes = append(cs.Changes, Change{Kind: KindRemoveLike})
+	if !cs.HasRemovals() {
+		t.Fatal("removal not detected")
+	}
+	if KindRemoveLike.String() != "RemoveLike" || KindRemoveFriendship.String() != "RemoveFriendship" {
+		t.Fatal("String names wrong")
+	}
+}

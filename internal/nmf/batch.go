@@ -1,0 +1,112 @@
+package nmf
+
+import (
+	"repro/internal/core"
+	"repro/internal/lagraph"
+	"repro/internal/model"
+)
+
+// Q1Batch is the reference batch solution for Q1: on every step it walks
+// the whole object graph and recomputes every post's score.
+type Q1Batch struct {
+	m *Model
+}
+
+// NewQ1Batch returns the batch Q1 reference solution ("NMF Batch").
+func NewQ1Batch() *Q1Batch { return &Q1Batch{} }
+
+// Name implements core.Solution.
+func (*Q1Batch) Name() string { return "NMF Batch" }
+
+// Query implements core.Solution.
+func (*Q1Batch) Query() string { return "Q1" }
+
+// Load implements core.Solution.
+func (s *Q1Batch) Load(snap *model.Snapshot) error {
+	s.m = NewModel()
+	return s.m.LoadSnapshot(snap)
+}
+
+// Initial implements core.Solution.
+func (s *Q1Batch) Initial() (core.Result, error) { return s.evaluate(), nil }
+
+// Update implements core.Solution.
+func (s *Q1Batch) Update(cs *model.ChangeSet) (core.Result, error) {
+	if err := s.m.Apply(cs); err != nil {
+		return nil, err
+	}
+	return s.evaluate(), nil
+}
+
+func (s *Q1Batch) evaluate() core.Result {
+	t := core.NewTopK(core.TopK)
+	for _, p := range s.m.Posts {
+		score := int64(10 * len(p.AllComments))
+		for _, c := range p.AllComments {
+			score += int64(len(c.LikedBy))
+		}
+		t.Consider(core.Entry{ID: p.ID, Score: score, Timestamp: p.Timestamp})
+	}
+	return t.Result()
+}
+
+// Q2Batch is the reference batch solution for Q2: per comment it runs a
+// fresh union-find over the friendships among the comment's likers.
+type Q2Batch struct {
+	m *Model
+}
+
+// NewQ2Batch returns the batch Q2 reference solution ("NMF Batch").
+func NewQ2Batch() *Q2Batch { return &Q2Batch{} }
+
+// Name implements core.Solution.
+func (*Q2Batch) Name() string { return "NMF Batch" }
+
+// Query implements core.Solution.
+func (*Q2Batch) Query() string { return "Q2" }
+
+// Load implements core.Solution.
+func (s *Q2Batch) Load(snap *model.Snapshot) error {
+	s.m = NewModel()
+	return s.m.LoadSnapshot(snap)
+}
+
+// Initial implements core.Solution.
+func (s *Q2Batch) Initial() (core.Result, error) { return s.evaluate(), nil }
+
+// Update implements core.Solution.
+func (s *Q2Batch) Update(cs *model.ChangeSet) (core.Result, error) {
+	if err := s.m.Apply(cs); err != nil {
+		return nil, err
+	}
+	return s.evaluate(), nil
+}
+
+func (s *Q2Batch) evaluate() core.Result {
+	t := core.NewTopK(core.TopK)
+	for _, c := range s.m.Comments {
+		t.Consider(core.Entry{ID: c.ID, Score: scoreComment(c), Timestamp: c.Timestamp})
+	}
+	return t.Result()
+}
+
+// scoreComment computes Σ (component size)² over the friendship subgraph
+// induced by the comment's likers.
+func scoreComment(c *Comment) int64 {
+	if len(c.LikedBy) == 0 {
+		return 0
+	}
+	local := make(map[*User]int, len(c.LikedBy))
+	for i, u := range c.LikedBy {
+		local[u] = i
+	}
+	d := lagraph.NewDSU(len(c.LikedBy))
+	for i, u := range c.LikedBy {
+		for _, f := range u.Friends {
+			if j, ok := local[f]; ok {
+				d.Union(i, j)
+			}
+		}
+	}
+	return d.SumSquaredComponentSizes()
+}

@@ -1,0 +1,322 @@
+package nmf
+
+import (
+	"repro/internal/core"
+	"repro/internal/lagraph"
+	"repro/internal/model"
+)
+
+// Q1Incremental is the reference incremental solution for Q1: at load time
+// it subscribes to model change notifications and builds its dependency
+// state (per-post score cells) while the snapshot replays — the expensive
+// load that Fig. 5 shows for NMF Incremental — and afterwards each
+// insertion adjusts the affected post's score cell in O(1).
+type Q1Incremental struct {
+	m       *Model
+	scores  map[*Post]int64
+	dirty   map[*Post]struct{}
+	removal bool // a removal occurred since the last ranking
+	prev    core.Result
+}
+
+// NewQ1Incremental returns the incremental Q1 reference solution
+// ("NMF Incremental").
+func NewQ1Incremental() *Q1Incremental { return &Q1Incremental{} }
+
+// Name implements core.Solution.
+func (*Q1Incremental) Name() string { return "NMF Incremental" }
+
+// Query implements core.Solution.
+func (*Q1Incremental) Query() string { return "Q1" }
+
+// Load implements core.Solution.
+func (s *Q1Incremental) Load(snap *model.Snapshot) error {
+	s.m = NewModel()
+	s.scores = make(map[*Post]int64)
+	s.dirty = make(map[*Post]struct{})
+	s.m.Subscribe(s)
+	return s.m.LoadSnapshot(snap)
+}
+
+// OnPost implements Listener.
+func (s *Q1Incremental) OnPost(p *Post) {
+	s.scores[p] = 0
+	s.dirty[p] = struct{}{}
+}
+
+// OnComment implements Listener: a new comment adds 10 to its root post.
+func (s *Q1Incremental) OnComment(c *Comment) {
+	s.scores[c.Root] += 10
+	s.dirty[c.Root] = struct{}{}
+}
+
+// OnUser implements Listener.
+func (*Q1Incremental) OnUser(*User) {}
+
+// OnLike implements Listener: a new like adds 1 to the comment's root post.
+func (s *Q1Incremental) OnLike(_ *User, c *Comment) {
+	s.scores[c.Root]++
+	s.dirty[c.Root] = struct{}{}
+}
+
+// OnFriendship implements Listener.
+func (*Q1Incremental) OnFriendship(*User, *User) {}
+
+// OnUnlike implements Listener: an unlike subtracts 1 from the root post.
+func (s *Q1Incremental) OnUnlike(_ *User, c *Comment) {
+	s.scores[c.Root]--
+	s.dirty[c.Root] = struct{}{}
+	s.removal = true
+}
+
+// OnUnfriend implements Listener: friendships do not enter Q1.
+func (*Q1Incremental) OnUnfriend(*User, *User) {}
+
+// Initial implements core.Solution: scores are maintained, so the initial
+// evaluation ranks every post once.
+func (s *Q1Incremental) Initial() (core.Result, error) {
+	t := core.NewTopK(core.TopK)
+	for _, p := range s.m.Posts {
+		t.Consider(core.Entry{ID: p.ID, Score: s.scores[p], Timestamp: p.Timestamp})
+	}
+	s.prev = t.Result()
+	s.dirty = make(map[*Post]struct{})
+	return s.prev, nil
+}
+
+// Update implements core.Solution: apply the change set (listeners adjust
+// score cells), then merge the dirty posts into the previous top-3.
+func (s *Q1Incremental) Update(cs *model.ChangeSet) (core.Result, error) {
+	if err := s.m.Apply(cs); err != nil {
+		return nil, err
+	}
+	if s.removal {
+		// Scores may have decreased; re-rank every post.
+		s.removal = false
+		s.dirty = make(map[*Post]struct{})
+		t := core.NewTopK(core.TopK)
+		for _, p := range s.m.Posts {
+			t.Consider(core.Entry{ID: p.ID, Score: s.scores[p], Timestamp: p.Timestamp})
+		}
+		s.prev = t.Result()
+		return s.prev, nil
+	}
+	t := core.NewTopK(core.TopK)
+	seen := make(map[*Post]struct{}, len(s.dirty)+core.TopK)
+	add := func(p *Post) {
+		if _, dup := seen[p]; dup {
+			return
+		}
+		seen[p] = struct{}{}
+		t.Consider(core.Entry{ID: p.ID, Score: s.scores[p], Timestamp: p.Timestamp})
+	}
+	for _, e := range s.prev {
+		add(s.m.postByID[e.ID])
+	}
+	for p := range s.dirty {
+		add(p)
+	}
+	s.prev = t.Result()
+	s.dirty = make(map[*Post]struct{})
+	return s.prev, nil
+}
+
+// Q2Incremental is the reference incremental solution for Q2: it maintains
+// one union-find per comment over the comment's likers, updating the
+// Σ sizes² score cell on every merge — the object-graph twin of the
+// dependency-graph propagation NMF performs.
+type Q2Incremental struct {
+	m       *Model
+	cc      map[*Comment]*commentState
+	dirty   map[*Comment]struct{}
+	removal bool // a removal occurred since the last ranking
+	prev    core.Result
+}
+
+type commentState struct {
+	dsu   *lagraph.DSU
+	node  map[*User]int
+	score int64
+}
+
+// NewQ2Incremental returns the incremental Q2 reference solution
+// ("NMF Incremental").
+func NewQ2Incremental() *Q2Incremental { return &Q2Incremental{} }
+
+// Name implements core.Solution.
+func (*Q2Incremental) Name() string { return "NMF Incremental" }
+
+// Query implements core.Solution.
+func (*Q2Incremental) Query() string { return "Q2" }
+
+// Load implements core.Solution.
+func (s *Q2Incremental) Load(snap *model.Snapshot) error {
+	s.m = NewModel()
+	s.cc = make(map[*Comment]*commentState)
+	s.dirty = make(map[*Comment]struct{})
+	s.m.Subscribe(s)
+	return s.m.LoadSnapshot(snap)
+}
+
+// OnPost implements Listener.
+func (*Q2Incremental) OnPost(*Post) {}
+
+// OnComment implements Listener.
+func (s *Q2Incremental) OnComment(c *Comment) {
+	s.cc[c] = &commentState{dsu: lagraph.NewDSU(0), node: make(map[*User]int)}
+	s.dirty[c] = struct{}{}
+}
+
+// OnUser implements Listener.
+func (*Q2Incremental) OnUser(*User) {}
+
+// OnLike implements Listener: the user joins the comment's component
+// structure and merges with any friends already present.
+func (s *Q2Incremental) OnLike(u *User, c *Comment) {
+	st := s.cc[c]
+	if _, dup := st.node[u]; dup {
+		return
+	}
+	id := st.dsu.Add()
+	st.node[u] = id
+	st.score++
+	for _, f := range u.Friends {
+		if fid, ok := st.node[f]; ok {
+			st.union(id, fid)
+		}
+	}
+	s.dirty[c] = struct{}{}
+}
+
+// OnFriendship implements Listener: merge the endpoints in every comment
+// both users like (the comments whose components this edge can change).
+func (s *Q2Incremental) OnFriendship(a, b *User) {
+	la, lb := a.Likes, b.Likes
+	if len(lb) < len(la) {
+		la, lb = lb, la
+		a, b = b, a
+	}
+	inA := make(map[*Comment]struct{}, len(la))
+	for _, c := range la {
+		inA[c] = struct{}{}
+	}
+	for _, c := range lb {
+		if _, ok := inA[c]; !ok {
+			continue
+		}
+		st := s.cc[c]
+		st.union(st.node[a], st.node[b])
+		s.dirty[c] = struct{}{}
+	}
+}
+
+// OnUnlike implements Listener: the comment's component state is re-derived
+// from its remaining likers (a DSU cannot split).
+func (s *Q2Incremental) OnUnlike(_ *User, c *Comment) {
+	s.rebuild(c)
+	s.dirty[c] = struct{}{}
+	s.removal = true
+}
+
+// OnUnfriend implements Listener: rebuild every comment both users still
+// like — the comments whose components the removed edge may have held
+// together. The model severed the Friends references before notifying, so
+// rebuilds see the post-removal adjacency.
+func (s *Q2Incremental) OnUnfriend(a, b *User) {
+	inA := make(map[*Comment]struct{}, len(a.Likes))
+	for _, c := range a.Likes {
+		inA[c] = struct{}{}
+	}
+	for _, c := range b.Likes {
+		if _, ok := inA[c]; ok {
+			s.rebuild(c)
+			s.dirty[c] = struct{}{}
+		}
+	}
+	s.removal = true
+}
+
+// rebuild re-derives one comment's components from its current likers and
+// their current friendships.
+func (s *Q2Incremental) rebuild(c *Comment) {
+	st := &commentState{dsu: lagraph.NewDSU(len(c.LikedBy)), node: make(map[*User]int, len(c.LikedBy))}
+	for i, u := range c.LikedBy {
+		st.node[u] = i
+	}
+	for i, u := range c.LikedBy {
+		for _, f := range u.Friends {
+			if j, ok := st.node[f]; ok {
+				st.dsu.Union(i, j)
+			}
+		}
+	}
+	st.score = st.dsu.SumSquaredComponentSizes()
+	s.cc[c] = st
+}
+
+func (st *commentState) union(x, y int) {
+	rx, ry := st.dsu.Find(x), st.dsu.Find(y)
+	if rx == ry {
+		return
+	}
+	s1 := int64(st.dsu.ComponentSize(rx))
+	s2 := int64(st.dsu.ComponentSize(ry))
+	st.dsu.Union(rx, ry)
+	st.score += (s1+s2)*(s1+s2) - s1*s1 - s2*s2
+}
+
+// Initial implements core.Solution.
+func (s *Q2Incremental) Initial() (core.Result, error) {
+	t := core.NewTopK(core.TopK)
+	for _, c := range s.m.Comments {
+		t.Consider(core.Entry{ID: c.ID, Score: s.cc[c].score, Timestamp: c.Timestamp})
+	}
+	s.prev = t.Result()
+	s.dirty = make(map[*Comment]struct{})
+	return s.prev, nil
+}
+
+// Update implements core.Solution.
+func (s *Q2Incremental) Update(cs *model.ChangeSet) (core.Result, error) {
+	if err := s.m.Apply(cs); err != nil {
+		return nil, err
+	}
+	if s.removal {
+		s.removal = false
+		s.dirty = make(map[*Comment]struct{})
+		t := core.NewTopK(core.TopK)
+		for _, c := range s.m.Comments {
+			t.Consider(core.Entry{ID: c.ID, Score: s.cc[c].score, Timestamp: c.Timestamp})
+		}
+		s.prev = t.Result()
+		return s.prev, nil
+	}
+	t := core.NewTopK(core.TopK)
+	seen := make(map[*Comment]struct{}, len(s.dirty)+core.TopK)
+	add := func(c *Comment) {
+		if _, dup := seen[c]; dup {
+			return
+		}
+		seen[c] = struct{}{}
+		t.Consider(core.Entry{ID: c.ID, Score: s.cc[c].score, Timestamp: c.Timestamp})
+	}
+	for _, e := range s.prev {
+		add(s.m.commentByID[e.ID])
+	}
+	for c := range s.dirty {
+		add(c)
+	}
+	s.prev = t.Result()
+	s.dirty = make(map[*Comment]struct{})
+	return s.prev, nil
+}
+
+// Interface conformance checks.
+var (
+	_ core.Solution = (*Q1Batch)(nil)
+	_ core.Solution = (*Q1Incremental)(nil)
+	_ core.Solution = (*Q2Batch)(nil)
+	_ core.Solution = (*Q2Incremental)(nil)
+	_ Listener      = (*Q1Incremental)(nil)
+	_ Listener      = (*Q2Incremental)(nil)
+)

@@ -1,0 +1,282 @@
+// Package nmf is the stand-in for the case study's reference solution,
+// which was written in the .NET Modeling Framework (Hinkel, "NMF: a
+// multi-platform modeling framework"). The paper benchmarks against two NMF
+// variants: NMF Batch re-traverses the object graph on every step, and NMF
+// Incremental builds a dependency graph at load time that propagates model
+// changes into the query results (slow load, near-constant-time updates).
+//
+// This package mirrors that architecture in Go: an object-graph model with
+// element-change notifications, a batch solution that recomputes by
+// traversal, and an incremental solution whose listeners maintain the query
+// results. The substitution is documented in DESIGN.md; it preserves the
+// behaviour that matters for Fig. 5 — the load/update cost asymmetry
+// between the two variants — while producing results identical to the
+// GraphBLAS engines.
+package nmf
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Post is a root submission in the object graph. AllComments materializes
+// the rootPost back-references, as the case model's direct pointer demands.
+type Post struct {
+	ID          model.ID
+	Timestamp   int64
+	AllComments []*Comment
+}
+
+// Comment is a non-root submission.
+type Comment struct {
+	ID        model.ID
+	Timestamp int64
+	Root      *Post
+	LikedBy   []*User
+}
+
+// User participates by liking and befriending.
+type User struct {
+	ID      model.ID
+	Friends []*User
+	Likes   []*Comment
+}
+
+// Listener receives element-level change notifications, the analogue of
+// NMF's INotifyCollectionChanged plumbing. Load-time replays deliver the
+// initial snapshot through the same callbacks.
+type Listener interface {
+	OnPost(*Post)
+	OnComment(*Comment)
+	OnUser(*User)
+	OnLike(*User, *Comment)
+	OnFriendship(*User, *User)
+	// Removal notifications (the future-work mixed workload). They fire
+	// after the model references have been severed.
+	OnUnlike(*User, *Comment)
+	OnUnfriend(*User, *User)
+}
+
+// Model is the mutable object graph.
+type Model struct {
+	Posts    []*Post
+	Comments []*Comment
+	Users    []*User
+
+	postByID    map[model.ID]*Post
+	commentByID map[model.ID]*Comment
+	userByID    map[model.ID]*User
+
+	listeners []Listener
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model {
+	return &Model{
+		postByID:    make(map[model.ID]*Post),
+		commentByID: make(map[model.ID]*Comment),
+		userByID:    make(map[model.ID]*User),
+	}
+}
+
+// Subscribe registers a listener for subsequent changes (including a
+// LoadSnapshot replay).
+func (m *Model) Subscribe(l Listener) { m.listeners = append(m.listeners, l) }
+
+// LoadSnapshot populates the model from the initial snapshot, notifying
+// listeners element by element — NMF's incremental variant builds its
+// dependency graph exactly this way, which is why its load phase is the
+// slowest in Fig. 5.
+func (m *Model) LoadSnapshot(s *model.Snapshot) error {
+	for i := range s.Posts {
+		if err := m.addPost(&s.Posts[i]); err != nil {
+			return err
+		}
+	}
+	for i := range s.Users {
+		if err := m.addUser(&s.Users[i]); err != nil {
+			return err
+		}
+	}
+	for i := range s.Comments {
+		if err := m.addComment(&s.Comments[i]); err != nil {
+			return err
+		}
+	}
+	for i := range s.Friendships {
+		if err := m.addFriendship(&s.Friendships[i]); err != nil {
+			return err
+		}
+	}
+	for i := range s.Likes {
+		if err := m.addLike(&s.Likes[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Apply ingests one change set in order.
+func (m *Model) Apply(cs *model.ChangeSet) error {
+	for i := range cs.Changes {
+		ch := &cs.Changes[i]
+		var err error
+		switch ch.Kind {
+		case model.KindAddPost:
+			err = m.addPost(&ch.Post)
+		case model.KindAddComment:
+			err = m.addComment(&ch.Comment)
+		case model.KindAddUser:
+			err = m.addUser(&ch.User)
+		case model.KindAddFriendship:
+			err = m.addFriendship(&ch.Friendship)
+		case model.KindAddLike:
+			err = m.addLike(&ch.Like)
+		case model.KindRemoveLike:
+			err = m.removeLike(&ch.Like)
+		case model.KindRemoveFriendship:
+			err = m.removeFriendship(&ch.Friendship)
+		default:
+			err = fmt.Errorf("nmf: unknown change kind %d", ch.Kind)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Model) addPost(p *model.Post) error {
+	if _, dup := m.postByID[p.ID]; dup {
+		return fmt.Errorf("nmf: duplicate post %d", p.ID)
+	}
+	obj := &Post{ID: p.ID, Timestamp: p.Timestamp}
+	m.Posts = append(m.Posts, obj)
+	m.postByID[p.ID] = obj
+	for _, l := range m.listeners {
+		l.OnPost(obj)
+	}
+	return nil
+}
+
+func (m *Model) addUser(u *model.User) error {
+	if _, dup := m.userByID[u.ID]; dup {
+		return fmt.Errorf("nmf: duplicate user %d", u.ID)
+	}
+	obj := &User{ID: u.ID}
+	m.Users = append(m.Users, obj)
+	m.userByID[u.ID] = obj
+	for _, l := range m.listeners {
+		l.OnUser(obj)
+	}
+	return nil
+}
+
+func (m *Model) addComment(c *model.Comment) error {
+	if _, dup := m.commentByID[c.ID]; dup {
+		return fmt.Errorf("nmf: duplicate comment %d", c.ID)
+	}
+	root, ok := m.postByID[c.PostID]
+	if !ok {
+		return fmt.Errorf("nmf: comment %d roots at unknown post %d", c.ID, c.PostID)
+	}
+	obj := &Comment{ID: c.ID, Timestamp: c.Timestamp, Root: root}
+	m.Comments = append(m.Comments, obj)
+	m.commentByID[c.ID] = obj
+	root.AllComments = append(root.AllComments, obj)
+	for _, l := range m.listeners {
+		l.OnComment(obj)
+	}
+	return nil
+}
+
+func (m *Model) addFriendship(f *model.Friendship) error {
+	a, ok := m.userByID[f.User1]
+	if !ok {
+		return fmt.Errorf("nmf: friendship references unknown user %d", f.User1)
+	}
+	b, ok := m.userByID[f.User2]
+	if !ok {
+		return fmt.Errorf("nmf: friendship references unknown user %d", f.User2)
+	}
+	a.Friends = append(a.Friends, b)
+	b.Friends = append(b.Friends, a)
+	for _, l := range m.listeners {
+		l.OnFriendship(a, b)
+	}
+	return nil
+}
+
+func (m *Model) addLike(lk *model.Like) error {
+	u, ok := m.userByID[lk.UserID]
+	if !ok {
+		return fmt.Errorf("nmf: like references unknown user %d", lk.UserID)
+	}
+	c, ok := m.commentByID[lk.CommentID]
+	if !ok {
+		return fmt.Errorf("nmf: like references unknown comment %d", lk.CommentID)
+	}
+	u.Likes = append(u.Likes, c)
+	c.LikedBy = append(c.LikedBy, u)
+	for _, l := range m.listeners {
+		l.OnLike(u, c)
+	}
+	return nil
+}
+
+func (m *Model) removeLike(lk *model.Like) error {
+	u, ok := m.userByID[lk.UserID]
+	if !ok {
+		return fmt.Errorf("nmf: unlike references unknown user %d", lk.UserID)
+	}
+	c, ok := m.commentByID[lk.CommentID]
+	if !ok {
+		return fmt.Errorf("nmf: unlike references unknown comment %d", lk.CommentID)
+	}
+	if !removeComment(&u.Likes, c) || !removeUser(&c.LikedBy, u) {
+		return fmt.Errorf("nmf: unlike of missing like %d→%d", lk.UserID, lk.CommentID)
+	}
+	for _, l := range m.listeners {
+		l.OnUnlike(u, c)
+	}
+	return nil
+}
+
+func (m *Model) removeFriendship(f *model.Friendship) error {
+	a, ok := m.userByID[f.User1]
+	if !ok {
+		return fmt.Errorf("nmf: unfriend references unknown user %d", f.User1)
+	}
+	b, ok := m.userByID[f.User2]
+	if !ok {
+		return fmt.Errorf("nmf: unfriend references unknown user %d", f.User2)
+	}
+	if !removeUser(&a.Friends, b) || !removeUser(&b.Friends, a) {
+		return fmt.Errorf("nmf: unfriend of missing friendship %d–%d", f.User1, f.User2)
+	}
+	for _, l := range m.listeners {
+		l.OnUnfriend(a, b)
+	}
+	return nil
+}
+
+func removeUser(list *[]*User, x *User) bool {
+	for k, v := range *list {
+		if v == x {
+			*list = append((*list)[:k], (*list)[k+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func removeComment(list *[]*Comment, x *Comment) bool {
+	for k, v := range *list {
+		if v == x {
+			*list = append((*list)[:k], (*list)[k+1:]...)
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,176 @@
+package nmf
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/model"
+)
+
+func TestQ1ExampleScores(t *testing.T) {
+	for _, eng := range []core.Solution{NewQ1Batch(), NewQ1Incremental()} {
+		d := model.ExampleDataset()
+		if err := eng.Load(d.Snapshot); err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		res, err := eng.Initial()
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if res[0].ID != model.P1 || res[0].Score != 25 || res[1].ID != model.P2 || res[1].Score != 10 {
+			t.Fatalf("%s initial = %v", eng.Name(), res)
+		}
+		res, err = eng.Update(&d.ChangeSets[0])
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if res[0].ID != model.P1 || res[0].Score != 37 {
+			t.Fatalf("%s updated = %v, want p1=37", eng.Name(), res)
+		}
+	}
+}
+
+func TestQ2ExampleScores(t *testing.T) {
+	for _, eng := range []core.Solution{NewQ2Batch(), NewQ2Incremental()} {
+		d := model.ExampleDataset()
+		if err := eng.Load(d.Snapshot); err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		res, err := eng.Initial()
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if res[0].ID != model.C2 || res[0].Score != 5 || res[1].ID != model.C1 || res[1].Score != 4 {
+			t.Fatalf("%s initial = %v", eng.Name(), res)
+		}
+		res, err = eng.Update(&d.ChangeSets[0])
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		want := []struct {
+			id    model.ID
+			score int64
+		}{{model.C2, 16}, {model.C1, 4}, {model.C4, 1}}
+		for i, w := range want {
+			if res[i].ID != w.id || res[i].Score != w.score {
+				t.Fatalf("%s updated rank %d = %+v, want id %d score %d", eng.Name(), i, res[i], w.id, w.score)
+			}
+		}
+	}
+}
+
+// The NMF engines must agree with each other pairwise (batch vs incremental
+// per query) across a generated change stream; cross-validation against the
+// GraphBLAS engines lives in the harness tests.
+func TestBatchAndIncrementalAgree(t *testing.T) {
+	for _, seed := range []int64{1, 4, 2018} {
+		d := datagen.Generate(datagen.Config{ScaleFactor: 1, Seed: seed})
+		pairs := [][2]core.Solution{
+			{NewQ1Batch(), NewQ1Incremental()},
+			{NewQ2Batch(), NewQ2Incremental()},
+		}
+		for _, pair := range pairs {
+			for _, eng := range pair {
+				if err := eng.Load(d.Snapshot); err != nil {
+					t.Fatal(err)
+				}
+			}
+			a, err := pair[0].Initial()
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := pair[1].Initial()
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSame(t, pair[0].Query(), "initial", a, b)
+			for k := range d.ChangeSets {
+				a, err = pair[0].Update(&d.ChangeSets[k])
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err = pair[1].Update(&d.ChangeSets[k])
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertSame(t, pair[0].Query(), "update", a, b)
+			}
+		}
+	}
+}
+
+func assertSame(t *testing.T, q, step string, a, b core.Result) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s %s: %v vs %v", q, step, a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("%s %s rank %d: %+v vs %+v", q, step, i, a[i], b[i])
+		}
+	}
+}
+
+func TestModelRejectsDanglingReferences(t *testing.T) {
+	m := NewModel()
+	if err := m.Apply(&model.ChangeSet{Changes: []model.Change{
+		{Kind: model.KindAddLike, Like: model.Like{UserID: 1, CommentID: 2}},
+	}}); err == nil {
+		t.Fatal("like into empty model must fail")
+	}
+	if err := m.Apply(&model.ChangeSet{Changes: []model.Change{
+		{Kind: model.KindAddComment, Comment: model.Comment{ID: 1, PostID: 99}},
+	}}); err == nil {
+		t.Fatal("comment with unknown root must fail")
+	}
+	if err := m.Apply(&model.ChangeSet{Changes: []model.Change{
+		{Kind: model.KindAddFriendship, Friendship: model.Friendship{User1: 1, User2: 2}},
+	}}); err == nil {
+		t.Fatal("friendship between unknown users must fail")
+	}
+}
+
+func TestModelRejectsDuplicates(t *testing.T) {
+	m := NewModel()
+	s := &model.Snapshot{
+		Posts: []model.Post{{ID: 1}},
+		Users: []model.User{{ID: 1}},
+	}
+	if err := m.LoadSnapshot(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.addPost(&model.Post{ID: 1}); err == nil {
+		t.Fatal("duplicate post must fail")
+	}
+	if err := m.addUser(&model.User{ID: 1}); err == nil {
+		t.Fatal("duplicate user must fail")
+	}
+}
+
+func TestListenerSeesLoadReplay(t *testing.T) {
+	// A listener subscribed before LoadSnapshot must observe every element.
+	d := model.ExampleDataset()
+	m := NewModel()
+	counter := &countingListener{}
+	m.Subscribe(counter)
+	if err := m.LoadSnapshot(d.Snapshot); err != nil {
+		t.Fatal(err)
+	}
+	if counter.posts != 2 || counter.comments != 3 || counter.users != 4 ||
+		counter.likes != 5 || counter.friendships != 2 {
+		t.Fatalf("listener saw %+v", counter)
+	}
+}
+
+type countingListener struct {
+	posts, comments, users, likes, friendships int
+}
+
+func (c *countingListener) OnPost(*Post)              { c.posts++ }
+func (c *countingListener) OnComment(*Comment)        { c.comments++ }
+func (c *countingListener) OnUser(*User)              { c.users++ }
+func (c *countingListener) OnLike(*User, *Comment)    { c.likes++ }
+func (c *countingListener) OnFriendship(*User, *User) { c.friendships++ }
+func (c *countingListener) OnUnlike(*User, *Comment)  { c.likes-- }
+func (c *countingListener) OnUnfriend(*User, *User)   { c.friendships-- }

@@ -1,0 +1,161 @@
+package nmf
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/model"
+)
+
+func TestQ1RemovalGolden(t *testing.T) {
+	unlike := model.ChangeSet{Changes: []model.Change{
+		{Kind: model.KindRemoveLike, Like: model.Like{UserID: model.U1, CommentID: model.C2}},
+	}}
+	for _, eng := range []core.Solution{NewQ1Batch(), NewQ1Incremental()} {
+		d := model.ExampleDataset()
+		if err := eng.Load(d.Snapshot); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Initial(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Update(&unlike)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if res[0].ID != model.P1 || res[0].Score != 24 {
+			t.Fatalf("%s: %v, want p1=24", eng.Name(), res)
+		}
+	}
+}
+
+func TestQ2RemovalGolden(t *testing.T) {
+	unfriend := model.ChangeSet{Changes: []model.Change{
+		{Kind: model.KindRemoveFriendship, Friendship: model.Friendship{User1: model.U3, User2: model.U4}},
+	}}
+	for _, eng := range []core.Solution{NewQ2Batch(), NewQ2Incremental()} {
+		d := model.ExampleDataset()
+		if err := eng.Load(d.Snapshot); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Initial(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Update(&unfriend)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		// c2 splits into three singletons: 5 → 3; c1 takes the lead.
+		if res[0].ID != model.C1 || res[0].Score != 4 || res[1].ID != model.C2 || res[1].Score != 3 {
+			t.Fatalf("%s: %v, want c1=4 then c2=3", eng.Name(), res)
+		}
+	}
+}
+
+func TestQ2UnlikeRebuild(t *testing.T) {
+	unlike := model.ChangeSet{Changes: []model.Change{
+		{Kind: model.KindRemoveLike, Like: model.Like{UserID: model.U3, CommentID: model.C2}},
+	}}
+	for _, eng := range []core.Solution{NewQ2Batch(), NewQ2Incremental()} {
+		d := model.ExampleDataset()
+		if err := eng.Load(d.Snapshot); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := eng.Initial(); err != nil {
+			t.Fatal(err)
+		}
+		res, err := eng.Update(&unlike)
+		if err != nil {
+			t.Fatalf("%s: %v", eng.Name(), err)
+		}
+		if res[1].ID != model.C2 || res[1].Score != 2 {
+			t.Fatalf("%s: %v, want c2=2 second", eng.Name(), res)
+		}
+	}
+}
+
+func TestBatchAndIncrementalAgreeOnMixedWorkload(t *testing.T) {
+	d := datagen.Generate(datagen.Config{
+		ScaleFactor:     1,
+		Seed:            13,
+		RemovalFraction: 0.35,
+		ChangeSets:      30,
+	})
+	pairs := [][2]core.Solution{
+		{NewQ1Batch(), NewQ1Incremental()},
+		{NewQ2Batch(), NewQ2Incremental()},
+	}
+	for _, pair := range pairs {
+		for _, eng := range pair {
+			if err := eng.Load(d.Snapshot); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := eng.Initial(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for k := range d.ChangeSets {
+			a, err := pair[0].Update(&d.ChangeSets[k])
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := pair[1].Update(&d.ChangeSets[k])
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSame(t, pair[0].Query(), "mixed-update", a, b)
+		}
+	}
+}
+
+func TestModelRemovalErrors(t *testing.T) {
+	d := model.ExampleDataset()
+	m := NewModel()
+	if err := m.LoadSnapshot(d.Snapshot); err != nil {
+		t.Fatal(err)
+	}
+	bad := []model.Change{
+		{Kind: model.KindRemoveLike, Like: model.Like{UserID: model.U1, CommentID: model.C1}},              // never liked
+		{Kind: model.KindRemoveLike, Like: model.Like{UserID: 999, CommentID: model.C1}},                   // unknown user
+		{Kind: model.KindRemoveLike, Like: model.Like{UserID: model.U1, CommentID: 999}},                   // unknown comment
+		{Kind: model.KindRemoveFriendship, Friendship: model.Friendship{User1: model.U1, User2: model.U2}}, // not friends
+		{Kind: model.KindRemoveFriendship, Friendship: model.Friendship{User1: 999, User2: model.U2}},      // unknown user
+	}
+	for i, ch := range bad {
+		if err := m.Apply(&model.ChangeSet{Changes: []model.Change{ch}}); err == nil {
+			t.Fatalf("change %d: expected error", i)
+		}
+	}
+}
+
+func TestModelRemovalMutatesObjectGraph(t *testing.T) {
+	d := model.ExampleDataset()
+	m := NewModel()
+	if err := m.LoadSnapshot(d.Snapshot); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Apply(&model.ChangeSet{Changes: []model.Change{
+		{Kind: model.KindRemoveLike, Like: model.Like{UserID: model.U2, CommentID: model.C1}},
+		{Kind: model.KindRemoveFriendship, Friendship: model.Friendship{User1: model.U2, User2: model.U3}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	c1 := m.commentByID[model.C1]
+	if len(c1.LikedBy) != 1 {
+		t.Fatalf("c1 LikedBy = %d, want 1", len(c1.LikedBy))
+	}
+	u2 := m.userByID[model.U2]
+	if len(u2.Likes) != 0 {
+		t.Fatalf("u2 Likes = %d, want 0", len(u2.Likes))
+	}
+	if len(u2.Friends) != 0 {
+		t.Fatalf("u2 Friends = %d, want 0", len(u2.Friends))
+	}
+	u3 := m.userByID[model.U3]
+	for _, f := range u3.Friends {
+		if f == u2 {
+			t.Fatal("u3 still references u2 after unfriend")
+		}
+	}
+}
