@@ -7,7 +7,7 @@ package repro
 //	                             scale factor (Fig. 5); tools: GraphBLAS
 //	                             Batch/Incremental at 1 and 8 threads, NMF
 //	                             Batch/Incremental
-//	BenchmarkAblation...       — design-choice ablations listed in DESIGN.md
+//	BenchmarkAblation...       — design-choice ablations (see README.md)
 //
 // The sub-benchmark sweep uses scale factors 1..16 so a plain
 // `go test -bench=.` finishes in minutes; cmd/ttcbench runs the full sweep

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,33 @@ import (
 
 	"repro/internal/harness"
 )
+
+// validateFlags rejects nonsense flag values; main maps the error to exit
+// status 2.
+func validateFlags(table2, fig5 bool, maxSF, runs, threads int, queries string) error {
+	if !table2 && !fig5 {
+		return errors.New("nothing to do: pass -table2 and/or -fig5")
+	}
+	if maxSF < 1 {
+		return fmt.Errorf("-maxsf must be >= 1 (got %d)", maxSF)
+	}
+	// -runs, -threads and -queries are only consumed by the Fig. 5 sweep;
+	// a -table2-only run must not be rejected for flags it never uses.
+	if fig5 {
+		if runs < 1 {
+			return fmt.Errorf("-runs must be >= 1 (got %d)", runs)
+		}
+		if threads < 1 {
+			return fmt.Errorf("-threads must be >= 1 (got %d)", threads)
+		}
+		for _, q := range strings.Split(queries, ",") {
+			if harness.Factories(q) == nil {
+				return fmt.Errorf("unknown query %q in -queries (want Q1 or Q2)", q)
+			}
+		}
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -34,8 +62,8 @@ func main() {
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
-	if !*table2 && !*fig5 {
-		fmt.Fprintln(os.Stderr, "nothing to do: pass -table2 and/or -fig5")
+	if err := validateFlags(*table2, *fig5, *maxSF, *runs, *threads, *queries); err != nil {
+		fmt.Fprintln(os.Stderr, "ttcbench:", err)
 		flag.Usage()
 		os.Exit(2)
 	}

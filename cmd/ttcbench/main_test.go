@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+// TestValidateFlags doubles as the build-level smoke test: having any test
+// in this package makes `go test ./...` compile the binary.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                 string
+		table2, fig5         bool
+		maxSF, runs, threads int
+		queries              string
+		wantErr              bool
+	}{
+		{"table2", true, false, 16, 5, 8, "Q1,Q2", false},
+		{"fig5 one query", false, true, 4, 3, 2, "Q2", false},
+		{"nothing to do", false, false, 16, 5, 8, "Q1,Q2", true},
+		{"zero maxsf", true, false, 0, 5, 8, "Q1", true},
+		{"zero runs", false, true, 16, 0, 8, "Q1", true},
+		{"zero threads", false, true, 16, 5, 0, "Q1", true},
+		{"bad query", false, true, 16, 5, 8, "Q1,Q9", true},
+		{"table2 ignores fig5-only flags", true, false, 16, 0, 0, "Q9", false},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.table2, tc.fig5, tc.maxSF, tc.runs, tc.threads, tc.queries)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: validateFlags = %v, wantErr=%v", tc.name, err, tc.wantErr)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +16,23 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/model"
 )
+
+// validateFlags rejects nonsense flag values; main maps the error to exit
+// status 2.
+func validateFlags(sf, changes int, out string) error {
+	if out == "" {
+		return errors.New("-out is required")
+	}
+	if sf < 1 {
+		return fmt.Errorf("-sf must be >= 1 (got %d)", sf)
+	}
+	if changes < 1 {
+		// datagen treats 0 as "use the default", so 0 would silently become
+		// 20 change sets; reject it instead.
+		return fmt.Errorf("-changes must be >= 1 (got %d)", changes)
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -24,8 +42,8 @@ func main() {
 		changes = flag.Int("changes", 20, "number of change sets")
 	)
 	flag.Parse()
-	if *out == "" {
-		fmt.Fprintln(os.Stderr, "ttcgen: -out is required")
+	if err := validateFlags(*sf, *changes, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "ttcgen:", err)
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -1,0 +1,27 @@
+package main
+
+import "testing"
+
+// TestValidateFlags doubles as the build-level smoke test: having any test
+// in this package makes `go test ./...` compile the binary.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name        string
+		sf, changes int
+		out         string
+		wantErr     bool
+	}{
+		{"ok", 1, 20, "data/sf1", false},
+		{"missing out", 1, 20, "", true},
+		{"zero sf", 0, 20, "data/sf0", true},
+		{"negative sf", -1, 20, "data/x", true},
+		{"zero changes", 1, 0, "data/sf1", true},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.sf, tc.changes, tc.out)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: validateFlags(%d, %d, %q) = %v, wantErr=%v",
+				tc.name, tc.sf, tc.changes, tc.out, err, tc.wantErr)
+		}
+	}
+}

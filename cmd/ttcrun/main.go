@@ -16,34 +16,30 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/grb"
 	"repro/internal/harness"
 	"repro/internal/model"
-	"repro/internal/nmf"
 )
 
-func factories(query string) map[string]harness.Factory {
-	switch query {
-	case "Q1":
-		return map[string]harness.Factory{
-			"batch":           func() core.Solution { return core.NewQ1Batch() },
-			"incremental":     func() core.Solution { return core.NewQ1Incremental() },
-			"nmf-batch":       func() core.Solution { return nmf.NewQ1Batch() },
-			"nmf-incremental": func() core.Solution { return nmf.NewQ1Incremental() },
-		}
-	case "Q2":
-		return map[string]harness.Factory{
-			"batch":           func() core.Solution { return core.NewQ2Batch() },
-			"incremental":     func() core.Solution { return core.NewQ2Incremental() },
-			"incremental-cc":  func() core.Solution { return core.NewQ2IncrementalCC() },
-			"nmf-batch":       func() core.Solution { return nmf.NewQ2Batch() },
-			"nmf-incremental": func() core.Solution { return nmf.NewQ2Incremental() },
-		}
-	default:
-		return nil
+// validateFlags rejects nonsense flag values with a clear message; main
+// maps the error to exit status 2. The factory registry lives in
+// harness.Factories, shared with ttcserve and the Fig. 5 lineup.
+func validateFlags(query, tool, data string, sf int, threads int) error {
+	fs := harness.Factories(query)
+	if fs == nil {
+		return fmt.Errorf("unknown query %q (want Q1 or Q2)", query)
 	}
+	if _, ok := fs[tool]; !ok {
+		return fmt.Errorf("unknown tool %q for %s", tool, query)
+	}
+	if data == "" && sf < 1 {
+		return fmt.Errorf("-sf must be >= 1 (got %d)", sf)
+	}
+	if threads < 1 {
+		return fmt.Errorf("-threads must be >= 1 (got %d)", threads)
+	}
+	return nil
 }
 
 func main() {
@@ -58,16 +54,11 @@ func main() {
 	)
 	flag.Parse()
 
-	fs := factories(*query)
-	if fs == nil {
-		fmt.Fprintf(os.Stderr, "ttcrun: unknown query %q\n", *query)
+	if err := validateFlags(*query, *tool, *data, *sf, *threads); err != nil {
+		fmt.Fprintln(os.Stderr, "ttcrun:", err)
 		os.Exit(2)
 	}
-	f, ok := fs[*tool]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "ttcrun: unknown tool %q for %s\n", *tool, *query)
-		os.Exit(2)
-	}
+	f := harness.Factories(*query)[*tool]
 
 	var d *model.Dataset
 	if *data != "" {

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+// TestValidateFlags doubles as the build-level smoke test: having any test
+// in this package makes `go test ./...` compile the binary.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name        string
+		query, tool string
+		data        string
+		sf, threads int
+		wantErr     bool
+	}{
+		{"ok", "Q1", "incremental", "", 1, 1, false},
+		{"ok cc", "Q2", "incremental-cc", "", 4, 2, false},
+		{"ok data ignores sf", "Q1", "batch", "data/sf8", 0, 1, false},
+		{"bad query", "Q3", "batch", "", 1, 1, true},
+		{"cc is Q2-only", "Q1", "incremental-cc", "", 1, 1, true},
+		{"bad tool", "Q2", "quantum", "", 1, 1, true},
+		{"zero sf", "Q1", "batch", "", 0, 1, true},
+		{"negative sf", "Q1", "batch", "", -3, 1, true},
+		{"zero threads", "Q1", "batch", "", 1, 0, true},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.query, tc.tool, tc.data, tc.sf, tc.threads)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: validateFlags(%q, %q, %q, %d, %d) = %v, wantErr=%v",
+				tc.name, tc.query, tc.tool, tc.data, tc.sf, tc.threads, err, tc.wantErr)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Command ttcserve runs the serving subsystem: it loads (or generates) a
+// Social Media dataset, keeps the incremental engines warm, and serves
+// concurrent Q1/Q2 reads over HTTP/JSON while ingesting updates through a
+// batching write queue. Readers always see the last committed answer.
+//
+// Usage:
+//
+//	ttcserve -addr :8080 -sf 4 -threads 2
+//	ttcserve -data data/sf8 -replay
+//
+// Endpoints: GET /query/q1, GET /query/q2 (?engine=cc), POST /update,
+// GET /stats, GET /healthz. See internal/server for the wire format.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		data    = flag.String("data", "", "dataset directory (from ttcgen); empty generates")
+		sf      = flag.Int("sf", 1, "scale factor when generating")
+		seed    = flag.Int64("seed", 2018, "generator seed when generating")
+		threads = flag.Int("threads", 1, "GraphBLAS thread count")
+		batch   = flag.Int("batch", 64, "max changes merged into one commit")
+		flush   = flag.Duration("flush", 2*time.Millisecond, "max wait for co-batched updates before committing")
+		queue   = flag.Int("queue", 256, "write queue capacity (requests)")
+		replay  = flag.Bool("replay", false, "replay the dataset's change sets through the write queue at startup")
+	)
+	flag.Parse()
+	if err := validateFlags(*addr, *data, *sf, *threads, *batch, *queue, *flush); err != nil {
+		fmt.Fprintln(os.Stderr, "ttcserve:", err)
+		os.Exit(2)
+	}
+
+	srv, err := server.New(server.Config{
+		DataDir:       *data,
+		ScaleFactor:   *sf,
+		Seed:          *seed,
+		Threads:       *threads,
+		MaxBatch:      *batch,
+		FlushInterval: *flush,
+		QueueDepth:    *queue,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttcserve:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+
+	if *replay {
+		start := time.Now()
+		n := 0
+		for k := range srv.Dataset().ChangeSets {
+			cs := &srv.Dataset().ChangeSets[k]
+			if err := srv.Enqueue(cs.Changes, true); err != nil {
+				fmt.Fprintf(os.Stderr, "ttcserve: replay change set %d: %v\n", k, err)
+				os.Exit(1)
+			}
+			n += len(cs.Changes)
+		}
+		log.Printf("replayed %d change sets (%d changes) in %v",
+			len(srv.Dataset().ChangeSets), n, time.Since(start))
+	}
+
+	snap := srv.Snapshot()
+	log.Printf("serving on %s (seq=%d q1=%q q2=%q)", *addr, snap.Seq,
+		snap.Results[server.EngineQ1], snap.Results[server.EngineQ2])
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "ttcserve:", err)
+		os.Exit(1)
+	}
+}
+
+// validateFlags rejects nonsense flag combinations with exit status 2
+// before any work happens.
+func validateFlags(addr, data string, sf, threads, batch, queue int, flush time.Duration) error {
+	if addr == "" {
+		return errors.New("-addr must not be empty")
+	}
+	if data == "" && sf < 1 {
+		return fmt.Errorf("-sf must be >= 1 (got %d)", sf)
+	}
+	if threads < 1 {
+		return fmt.Errorf("-threads must be >= 1 (got %d)", threads)
+	}
+	if batch < 1 {
+		return fmt.Errorf("-batch must be >= 1 (got %d)", batch)
+	}
+	if queue < 1 {
+		return fmt.Errorf("-queue must be >= 1 (got %d)", queue)
+	}
+	if flush <= 0 {
+		return fmt.Errorf("-flush must be positive (got %v)", flush)
+	}
+	return nil
+}

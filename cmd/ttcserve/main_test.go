@@ -1,0 +1,34 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestValidateFlags doubles as the build-level smoke test: having any test
+// in this package makes `go test ./...` compile the binary.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name                      string
+		addr, data                string
+		sf, threads, batch, queue int
+		flush                     time.Duration
+		wantErr                   bool
+	}{
+		{"ok", ":8080", "", 1, 1, 64, 256, time.Millisecond, false},
+		{"ok data ignores sf", ":8080", "data/sf8", 0, 1, 64, 256, time.Millisecond, false},
+		{"empty addr", "", "", 1, 1, 64, 256, time.Millisecond, true},
+		{"zero sf", ":8080", "", 0, 1, 64, 256, time.Millisecond, true},
+		{"zero threads", ":8080", "", 1, 0, 64, 256, time.Millisecond, true},
+		{"zero batch", ":8080", "", 1, 1, 0, 256, time.Millisecond, true},
+		{"zero queue", ":8080", "", 1, 1, 64, 0, time.Millisecond, true},
+		{"zero flush", ":8080", "", 1, 1, 64, 256, 0, true},
+		{"negative flush", ":8080", "", 1, 1, 64, 256, -time.Second, true},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.addr, tc.data, tc.sf, tc.threads, tc.batch, tc.queue, tc.flush)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: validateFlags = %v, wantErr=%v", tc.name, err, tc.wantErr)
+		}
+	}
+}

@@ -28,6 +28,10 @@ func main() {
 		fast = flag.Bool("fast", false, "skip the cross-engine agreement check")
 	)
 	flag.Parse()
+	if err := validateFlags(*data, *sf); err != nil {
+		fmt.Fprintln(os.Stderr, "ttcvalidate:", err)
+		os.Exit(2)
+	}
 
 	var d *model.Dataset
 	var err error
@@ -56,6 +60,15 @@ func main() {
 		fmt.Printf("%s: all tools agree on %d result steps (final: %s)\n",
 			q, len(results), results[len(results)-1])
 	}
+}
+
+// validateFlags rejects nonsense flag values; main maps the error to exit
+// status 2.
+func validateFlags(data string, sf int) error {
+	if data == "" && sf < 1 {
+		return fmt.Errorf("-sf must be >= 1 (got %d)", sf)
+	}
+	return nil
 }
 
 func fail(format string, args ...any) {

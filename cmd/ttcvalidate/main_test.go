@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+// TestValidateFlags doubles as the build-level smoke test: having any test
+// in this package makes `go test ./...` compile the binary.
+func TestValidateFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		data    string
+		sf      int
+		wantErr bool
+	}{
+		{"ok generated", "", 1, false},
+		{"ok data ignores sf", "data/sf8", 0, false},
+		{"zero sf", "", 0, true},
+		{"negative sf", "", -2, true},
+	}
+	for _, tc := range cases {
+		err := validateFlags(tc.data, tc.sf)
+		if (err != nil) != tc.wantErr {
+			t.Errorf("%s: validateFlags(%q, %d) = %v, wantErr=%v", tc.name, tc.data, tc.sf, err, tc.wantErr)
+		}
+	}
+}

@@ -3,9 +3,10 @@
 // engine (internal/grb), a LAGraph-style algorithm layer (internal/lagraph),
 // the Social Media case model and synthetic data generator (internal/model,
 // internal/datagen), the paper's batch and incremental query engines
-// (internal/core), the NMF-style reference baseline (internal/nmf), and the
-// TTC benchmark harness (internal/harness). See README.md, DESIGN.md and
-// EXPERIMENTS.md.
+// (internal/core), the NMF-style reference baseline (internal/nmf), the
+// TTC benchmark harness (internal/harness), and the serving subsystem
+// (internal/server, cmd/ttcserve). See README.md for the module layout,
+// binaries and design notes.
 //
 // The root package holds the benchmark suite (bench_test.go) regenerating
 // every table and figure of the paper's evaluation.

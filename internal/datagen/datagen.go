@@ -7,7 +7,7 @@
 // maintenance pays off.
 //
 // The contest shipped pre-generated CSV files; this package is the offline
-// substitute, documented in DESIGN.md. Everything is driven by a seeded
+// substitute, documented in README.md. Everything is driven by a seeded
 // math/rand source, so a (scale factor, seed) pair always yields the same
 // dataset.
 package datagen

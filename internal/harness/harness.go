@@ -32,26 +32,42 @@ type Tool struct {
 	New Factory
 }
 
+// Factories returns the named engine constructors for a query, the single
+// registry shared by ttcrun, ttcvalidate, ttcserve and the Fig. 5 lineup.
+// Names follow the CLI vocabulary: "batch", "incremental", "incremental-cc"
+// (Q2 only), "nmf-batch", "nmf-incremental". Unknown queries return nil.
+func Factories(query string) map[string]Factory {
+	switch query {
+	case "Q1":
+		return map[string]Factory{
+			"batch":           func() core.Solution { return core.NewQ1Batch() },
+			"incremental":     func() core.Solution { return core.NewQ1Incremental() },
+			"nmf-batch":       func() core.Solution { return nmf.NewQ1Batch() },
+			"nmf-incremental": func() core.Solution { return nmf.NewQ1Incremental() },
+		}
+	case "Q2":
+		return map[string]Factory{
+			"batch":           func() core.Solution { return core.NewQ2Batch() },
+			"incremental":     func() core.Solution { return core.NewQ2Incremental() },
+			"incremental-cc":  func() core.Solution { return core.NewQ2IncrementalCC() },
+			"nmf-batch":       func() core.Solution { return nmf.NewQ2Batch() },
+			"nmf-incremental": func() core.Solution { return nmf.NewQ2Incremental() },
+		}
+	default:
+		return nil
+	}
+}
+
 // Tools returns the Fig. 5 tool lineup for a query: GraphBLAS Batch and
 // Incremental at 1 thread and at `parallelThreads` threads, plus the NMF
 // reference pair.
 func Tools(query string, parallelThreads int) []Tool {
-	var batch, incr Factory
-	var nmfBatch, nmfIncr Factory
-	switch query {
-	case "Q1":
-		batch = func() core.Solution { return core.NewQ1Batch() }
-		incr = func() core.Solution { return core.NewQ1Incremental() }
-		nmfBatch = func() core.Solution { return nmf.NewQ1Batch() }
-		nmfIncr = func() core.Solution { return nmf.NewQ1Incremental() }
-	case "Q2":
-		batch = func() core.Solution { return core.NewQ2Batch() }
-		incr = func() core.Solution { return core.NewQ2Incremental() }
-		nmfBatch = func() core.Solution { return nmf.NewQ2Batch() }
-		nmfIncr = func() core.Solution { return nmf.NewQ2Incremental() }
-	default:
+	fs := Factories(query)
+	if fs == nil {
 		panic(fmt.Sprintf("harness: unknown query %q", query))
 	}
+	batch, incr := fs["batch"], fs["incremental"]
+	nmfBatch, nmfIncr := fs["nmf-batch"], fs["nmf-incremental"]
 	return []Tool{
 		{Label: "GraphBLAS Batch", Threads: 1, New: batch},
 		{Label: "GraphBLAS Incremental", Threads: 1, New: incr},

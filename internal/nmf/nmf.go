@@ -8,7 +8,7 @@
 // This package mirrors that architecture in Go: an object-graph model with
 // element-change notifications, a batch solution that recomputes by
 // traversal, and an incremental solution whose listeners maintain the query
-// results. The substitution is documented in DESIGN.md; it preserves the
+// results. The substitution is documented in README.md; it preserves the
 // behaviour that matters for Fig. 5 — the load/update cost asymmetry
 // between the two variants — while producing results identical to the
 // GraphBLAS engines.

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+)
+
+// ErrRejected marks an update that failed referential-integrity validation
+// and was not applied to any engine.
+var ErrRejected = errors.New("server: update rejected")
+
+// updateReq is one Enqueue call: its changes commit atomically in a single
+// batch (never split across commits). done, when non-nil, receives the
+// request's outcome after its batch is published.
+type updateReq struct {
+	changes []model.Change
+	done    chan error
+}
+
+func (r *updateReq) finish(err error) {
+	if r.done != nil {
+		r.done <- err
+	}
+}
+
+// writer is the single goroutine that owns the engines and the reference
+// state. It drains the queue into batches — a batch closes when MaxBatch
+// changes have accumulated or FlushInterval has elapsed since its first
+// request — then commits each batch and publishes the new snapshot. It
+// exits when Close closes the queue, after draining it.
+func (s *Server) writer(ref *refState) {
+	defer close(s.writerDone)
+	for first := range s.updates {
+		batch := []updateReq{first}
+		n := len(first.changes)
+		timer := time.NewTimer(s.cfg.FlushInterval)
+	fill:
+		for n < s.cfg.MaxBatch {
+			select {
+			case req, ok := <-s.updates:
+				if !ok {
+					break fill // queue closed; commit what we have and exit
+				}
+				batch = append(batch, req)
+				n += len(req.changes)
+			case <-timer.C:
+				break fill
+			}
+		}
+		timer.Stop()
+		s.commit(ref, batch)
+	}
+}
+
+// commit validates each request against the reference state, applies the
+// merged change set of the accepted requests to every engine, publishes the
+// new snapshot, and answers the waiters. Rejected requests get their error
+// and do not reach any engine; accepted requests only get nil after their
+// results are visible to readers.
+func (s *Server) commit(ref *refState, batch []updateReq) {
+	if err := s.brokenErr(); err != nil {
+		for i := range batch {
+			batch[i].finish(fmt.Errorf("%w: %w", ErrBroken, err))
+		}
+		return
+	}
+
+	cs := &model.ChangeSet{}
+	accepted := make([]*updateReq, 0, len(batch))
+	for i := range batch {
+		req := &batch[i]
+		if err := ref.applyAll(req.changes); err != nil {
+			req.finish(fmt.Errorf("%w: %w", ErrRejected, err))
+			continue
+		}
+		cs.Changes = append(cs.Changes, req.changes...)
+		accepted = append(accepted, req)
+	}
+	if len(cs.Changes) == 0 {
+		return
+	}
+
+	start := time.Now()
+	results := make(map[string]string, len(s.engines))
+	for _, e := range s.engines {
+		res, err := e.sol.Update(cs)
+		if err != nil {
+			// Validation should make this unreachable; if it happens the
+			// engines may have diverged, so stop accepting writes but keep
+			// serving the last committed snapshot.
+			err = fmt.Errorf("%s update: %w", e.sol.Name(), err)
+			s.setBroken(err)
+			for _, req := range accepted {
+				req.finish(fmt.Errorf("%w: %w", ErrBroken, err))
+			}
+			return
+		}
+		results[e.key] = committedResult(e.sol, res)
+	}
+	elapsed := time.Since(start)
+
+	prev := s.snap.Load()
+	s.snap.Store(&Snapshot{
+		Seq:     prev.Seq + 1,
+		Changes: prev.Changes + len(cs.Changes),
+		Results: results,
+		Engines: s.engineStats(),
+		At:      time.Now(),
+	})
+
+	s.mu.Lock()
+	s.phases.UpdateCount++
+	s.phases.UpdateTotal += elapsed
+	s.phases.UpdateLast = elapsed
+	if results[EngineQ2] != results[EngineQ2CC] {
+		s.q2Disagreements++
+	}
+	s.mu.Unlock()
+
+	for _, req := range accepted {
+		req.finish(nil)
+	}
+}

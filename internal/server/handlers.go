@@ -1,0 +1,352 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/grb"
+	"repro/internal/model"
+)
+
+// The HTTP API:
+//
+//	GET  /query/q1            Q1 top-3 from the last committed snapshot
+//	GET  /query/q2            Q2 top-3 (?engine=cc serves the CC extension)
+//	POST /update              enqueue changes; {"wait":true} blocks to commit
+//	GET  /stats               per-phase latencies, engine sizes, queue depth
+//	GET  /healthz             200 while healthy, 503 once engines failed
+func (s *Server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query/q1", s.handleQuery("Q1", EngineQ1))
+	mux.HandleFunc("/query/q2", s.handleQuery("Q2", EngineQ2))
+	mux.HandleFunc("/update", s.handleUpdate)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// queryResponse is one served read: the answer plus the commit coordinates
+// it is consistent with.
+type queryResponse struct {
+	Query  string `json:"query"`
+	Engine string `json:"engine"`
+	// Result is the contest's "id|id|id" answer format.
+	Result string `json:"result"`
+	// Seq and Changes identify the committed prefix of the update stream
+	// this answer reflects: Seq batches totalling Changes changes.
+	Seq     int       `json:"seq"`
+	Changes int       `json:"changes"`
+	AsOf    time.Time `json:"asOf"`
+}
+
+func (s *Server) handleQuery(query, key string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "use GET")
+			return
+		}
+		engine := key
+		if e := r.URL.Query().Get("engine"); e != "" {
+			switch {
+			case key == EngineQ2 && e == "cc":
+				engine = EngineQ2CC
+			case e == "incremental":
+				// the default; accepted for symmetry
+			default:
+				httpError(w, http.StatusBadRequest, "unknown engine %q for %s", e, query)
+				return
+			}
+		}
+		snap := s.Snapshot()
+		writeJSON(w, http.StatusOK, queryResponse{
+			Query:   query,
+			Engine:  engine,
+			Result:  snap.Results[engine],
+			Seq:     snap.Seq,
+			Changes: snap.Changes,
+			AsOf:    snap.At,
+		})
+	}
+}
+
+// wireChange is the JSON encoding of one model.Change. Kind selects which
+// field group must be present.
+type wireChange struct {
+	Kind       string          `json:"kind"`
+	Post       *wirePost       `json:"post,omitempty"`
+	Comment    *wireComment    `json:"comment,omitempty"`
+	User       *wireUser       `json:"user,omitempty"`
+	Friendship *wireFriendship `json:"friendship,omitempty"`
+	Like       *wireLike       `json:"like,omitempty"`
+}
+
+type wirePost struct {
+	ID        model.ID `json:"id"`
+	Timestamp int64    `json:"timestamp"`
+}
+
+type wireComment struct {
+	ID        model.ID `json:"id"`
+	Timestamp int64    `json:"timestamp"`
+	Parent    model.ID `json:"parent"`
+	Post      model.ID `json:"post"`
+}
+
+type wireUser struct {
+	ID model.ID `json:"id"`
+}
+
+type wireFriendship struct {
+	User1 model.ID `json:"user1"`
+	User2 model.ID `json:"user2"`
+}
+
+type wireLike struct {
+	User    model.ID `json:"user"`
+	Comment model.ID `json:"comment"`
+}
+
+func (c *wireChange) toModel() (model.Change, error) {
+	need := func(field string, ok bool) error {
+		if !ok {
+			return fmt.Errorf("kind %q requires the %q field", c.Kind, field)
+		}
+		return nil
+	}
+	switch c.Kind {
+	case "add-post":
+		if err := need("post", c.Post != nil); err != nil {
+			return model.Change{}, err
+		}
+		return model.Change{Kind: model.KindAddPost,
+			Post: model.Post{ID: c.Post.ID, Timestamp: c.Post.Timestamp}}, nil
+	case "add-comment":
+		if err := need("comment", c.Comment != nil); err != nil {
+			return model.Change{}, err
+		}
+		return model.Change{Kind: model.KindAddComment,
+			Comment: model.Comment{ID: c.Comment.ID, Timestamp: c.Comment.Timestamp,
+				ParentID: c.Comment.Parent, PostID: c.Comment.Post}}, nil
+	case "add-user":
+		if err := need("user", c.User != nil); err != nil {
+			return model.Change{}, err
+		}
+		return model.Change{Kind: model.KindAddUser, User: model.User{ID: c.User.ID}}, nil
+	case "add-friendship", "remove-friendship":
+		if err := need("friendship", c.Friendship != nil); err != nil {
+			return model.Change{}, err
+		}
+		kind := model.KindAddFriendship
+		if c.Kind == "remove-friendship" {
+			kind = model.KindRemoveFriendship
+		}
+		return model.Change{Kind: kind,
+			Friendship: model.Friendship{User1: c.Friendship.User1, User2: c.Friendship.User2}}, nil
+	case "add-like", "remove-like":
+		if err := need("like", c.Like != nil); err != nil {
+			return model.Change{}, err
+		}
+		kind := model.KindAddLike
+		if c.Kind == "remove-like" {
+			kind = model.KindRemoveLike
+		}
+		return model.Change{Kind: kind,
+			Like: model.Like{UserID: c.Like.User, CommentID: c.Like.Comment}}, nil
+	default:
+		return model.Change{}, fmt.Errorf("unknown change kind %q", c.Kind)
+	}
+}
+
+// WireChange converts a model.Change to its JSON encoding — the inverse of
+// the /update request format, for clients replaying model change streams.
+func WireChange(ch model.Change) any {
+	w := wireChange{}
+	switch ch.Kind {
+	case model.KindAddPost:
+		w.Kind = "add-post"
+		w.Post = &wirePost{ID: ch.Post.ID, Timestamp: ch.Post.Timestamp}
+	case model.KindAddComment:
+		w.Kind = "add-comment"
+		w.Comment = &wireComment{ID: ch.Comment.ID, Timestamp: ch.Comment.Timestamp,
+			Parent: ch.Comment.ParentID, Post: ch.Comment.PostID}
+	case model.KindAddUser:
+		w.Kind = "add-user"
+		w.User = &wireUser{ID: ch.User.ID}
+	case model.KindAddFriendship, model.KindRemoveFriendship:
+		w.Kind = "add-friendship"
+		if ch.Kind == model.KindRemoveFriendship {
+			w.Kind = "remove-friendship"
+		}
+		w.Friendship = &wireFriendship{User1: ch.Friendship.User1, User2: ch.Friendship.User2}
+	case model.KindAddLike, model.KindRemoveLike:
+		w.Kind = "add-like"
+		if ch.Kind == model.KindRemoveLike {
+			w.Kind = "remove-like"
+		}
+		w.Like = &wireLike{User: ch.Like.UserID, Comment: ch.Like.CommentID}
+	}
+	return w
+}
+
+// updateRequest is the /update body: one or more changes committed
+// atomically as a unit. Wait=true blocks the response until the batch
+// containing the request has been committed and is visible to readers.
+type updateRequest struct {
+	Changes []wireChange `json:"changes"`
+	Wait    bool         `json:"wait"`
+}
+
+type updateResponse struct {
+	Queued    int  `json:"queued"`
+	Committed bool `json:"committed"`
+	// Seq is the last committed batch at response time; with wait=true the
+	// request's changes are included in it.
+	Seq int `json:"seq"`
+}
+
+func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req updateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad update body: %v", err)
+		return
+	}
+	if len(req.Changes) == 0 {
+		httpError(w, http.StatusBadRequest, "no changes")
+		return
+	}
+	changes := make([]model.Change, len(req.Changes))
+	for i := range req.Changes {
+		ch, err := req.Changes[i].toModel()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "change %d: %v", i, err)
+			return
+		}
+		changes[i] = ch
+	}
+	if err := s.Enqueue(changes, req.Wait); err != nil {
+		switch {
+		case errors.Is(err, ErrRejected):
+			httpError(w, http.StatusConflict, "%v", err)
+		case errors.Is(err, ErrClosed), errors.Is(err, ErrBroken):
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+		default:
+			httpError(w, http.StatusInternalServerError, "%v", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, updateResponse{
+		Queued:    len(changes),
+		Committed: req.Wait,
+		Seq:       s.Snapshot().Seq,
+	})
+}
+
+// statsResponse reports the serving-side view of the paper's phase
+// breakdown (harness.Measurement conventions: load, initial, then one
+// update+reevaluation entry per committed batch) plus engine and queue
+// state.
+type statsResponse struct {
+	Load    durationMS `json:"loadMs"`
+	Initial durationMS `json:"initialMs"`
+	Updates struct {
+		Count int        `json:"count"`
+		Total durationMS `json:"totalMs"`
+		Last  durationMS `json:"lastMs"`
+		Mean  durationMS `json:"meanMs"`
+	} `json:"updates"`
+
+	Seq             int                         `json:"seq"`
+	Changes         int                         `json:"changes"`
+	QueueDepth      int                         `json:"queueDepth"`
+	Threads         int                         `json:"threads"`
+	Engines         map[string]core.EngineStats `json:"engines"`
+	Q2Disagreements int                         `json:"q2Disagreements"`
+	Broken          string                      `json:"broken,omitempty"`
+}
+
+// durationMS renders a duration as fractional milliseconds in JSON.
+type durationMS time.Duration
+
+func (d durationMS) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%.3f", time.Duration(d).Seconds()*1e3)), nil
+}
+
+func (d *durationMS) UnmarshalJSON(b []byte) error {
+	var ms float64
+	if err := json.Unmarshal(b, &ms); err != nil {
+		return err
+	}
+	*d = durationMS(time.Duration(ms * float64(time.Millisecond)))
+	return nil
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	snap := s.Snapshot()
+
+	s.mu.Lock()
+	m := s.phases
+	disagreements := s.q2Disagreements
+	broken := s.broken
+	s.mu.Unlock()
+
+	resp := statsResponse{
+		Load:            durationMS(m.Load),
+		Initial:         durationMS(m.Initial),
+		Seq:             snap.Seq,
+		Changes:         snap.Changes,
+		QueueDepth:      s.QueueDepth(),
+		Threads:         grb.Threads(),
+		Engines:         snap.Engines,
+		Q2Disagreements: disagreements,
+	}
+	resp.Updates.Count = m.UpdateCount
+	resp.Updates.Total = durationMS(m.UpdateTotal)
+	resp.Updates.Last = durationMS(m.UpdateLast)
+	if m.UpdateCount > 0 {
+		resp.Updates.Mean = durationMS(m.UpdateTotal / time.Duration(m.UpdateCount))
+	}
+	if broken != nil {
+		resp.Broken = broken.Error()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if err := s.brokenErr(); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	// Error strings from wrapped sentinels read fine to humans; strip the
+	// internal "server: " prefixes for terseness.
+	msg = strings.ReplaceAll(msg, "server: ", "")
+	writeJSON(w, status, map[string]any{"error": msg, "status": status})
+}

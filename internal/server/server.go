@@ -1,0 +1,328 @@
+// Package server turns the paper's continuous-reevaluation loop into a
+// long-lived serving subsystem: it loads a Social Media dataset once, keeps
+// the incremental engines (GraphBLAS Q1/Q2 and the connected-components Q2
+// extension) warm, ingests comment/like/friendship updates through a
+// batching write queue with a single writer per process, and serves
+// concurrent Q1/Q2 reads over HTTP/JSON with snapshot isolation — readers
+// always observe the result of the last committed batch, never a mid-update
+// state.
+//
+// Write path: Enqueue → buffered queue → the writer goroutine drains
+// requests into one batch (bounded by MaxBatch changes or FlushInterval,
+// whichever comes first), validates each request against the reference
+// state, applies the merged change set to every engine, then atomically
+// publishes a new Snapshot. Read path: an atomic pointer load.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/grb"
+	"repro/internal/model"
+)
+
+// Engine keys served by the query endpoints.
+const (
+	EngineQ1   = "q1"   // GraphBLAS Incremental, Q1
+	EngineQ2   = "q2"   // GraphBLAS Incremental, Q2
+	EngineQ2CC = "q2cc" // incremental connected components, Q2
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Dataset serves this dataset directly (tests). When nil, DataDir is
+	// read if set, otherwise a dataset is generated from ScaleFactor/Seed.
+	Dataset *model.Dataset
+	// DataDir is a CSV dataset directory written by ttcgen.
+	DataDir string
+	// ScaleFactor and Seed parameterize generation when no dataset or
+	// directory is given. ScaleFactor defaults to 1, Seed to 2018.
+	ScaleFactor int
+	Seed        int64
+
+	// Threads configures grb.SetThreads for the engines. Default 1.
+	Threads int
+	// MaxBatch caps the number of changes merged into one commit; a single
+	// request is never split. Default 64.
+	MaxBatch int
+	// FlushInterval bounds how long a queued change waits for co-batched
+	// company before the writer commits anyway. Default 2ms.
+	FlushInterval time.Duration
+	// QueueDepth is the write queue's buffered capacity in requests.
+	// Default 256.
+	QueueDepth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.ScaleFactor == 0 {
+		c.ScaleFactor = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 2018
+	}
+	if c.Threads == 0 {
+		c.Threads = 1
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 64
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 2 * time.Millisecond
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 256
+	}
+	return c
+}
+
+// Validate rejects nonsense configurations (zero values mean "use the
+// default" and are fine); cmd/ttcserve maps the error to exit status 2.
+func (c Config) Validate() error {
+	if c.Dataset == nil && c.DataDir == "" && c.ScaleFactor < 0 {
+		return fmt.Errorf("scale factor must be >= 1 (got %d)", c.ScaleFactor)
+	}
+	if c.Threads < 0 {
+		return fmt.Errorf("threads must be >= 1 (got %d)", c.Threads)
+	}
+	if c.MaxBatch < 0 {
+		return fmt.Errorf("max batch must be >= 1 (got %d)", c.MaxBatch)
+	}
+	if c.FlushInterval < 0 {
+		return fmt.Errorf("flush interval must be positive (got %v)", c.FlushInterval)
+	}
+	if c.QueueDepth < 0 {
+		return fmt.Errorf("queue depth must be >= 1 (got %d)", c.QueueDepth)
+	}
+	return nil
+}
+
+// phaseStats is the serving-side aggregate of the TTC phase latencies:
+// the one-shot Load and Initial phases, plus a running view of the
+// update+reevaluation phase across all committed batches.
+type phaseStats struct {
+	Load    time.Duration
+	Initial time.Duration
+
+	UpdateCount int
+	UpdateTotal time.Duration
+	UpdateLast  time.Duration
+}
+
+// engine pairs a served key with a warm solution instance. Solutions are
+// not safe for concurrent use; only the writer goroutine touches them.
+type engine struct {
+	key string
+	sol core.Solution
+}
+
+// Server is the serving subsystem. Create with New, serve via Handler,
+// stop with Close.
+type Server struct {
+	cfg     Config
+	dataset *model.Dataset
+
+	engines []engine
+
+	snap atomic.Pointer[Snapshot]
+
+	updates    chan updateReq
+	writerDone chan struct{}
+
+	mu      sync.Mutex // guards closing, broken, phases
+	closing bool
+	// producers counts Enqueue calls between their closing-check and their
+	// channel send, so Close can wait for in-flight sends before closing
+	// the queue. The send itself happens outside mu: a producer blocked on
+	// a full queue must not hold the lock the writer needs to commit.
+	producers sync.WaitGroup
+	// broken records the first engine failure; once set the server keeps
+	// serving the last committed snapshot but rejects further writes.
+	broken error
+	// phases records per-phase latencies following the harness.Measurement
+	// phase breakdown (Load, Initial, then Update+Reevaluation per
+	// committed batch), aggregated to O(1) state so a long-lived server
+	// never grows with commit count.
+	phases phaseStats
+	// q2Disagreements counts commits where the Q2 matrix engine and the
+	// connected-components extension disagreed — continuous cross-
+	// validation in the spirit of ttcvalidate; anything nonzero is a bug.
+	q2Disagreements int
+}
+
+// New loads (or generates) the dataset, warms every engine through its Load
+// and Initial phases, publishes the seq-0 snapshot, and starts the writer.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	d := cfg.Dataset
+	var err error
+	if d == nil {
+		if cfg.DataDir != "" {
+			d, err = model.ReadDataset(cfg.DataDir)
+			if err != nil {
+				return nil, fmt.Errorf("server: load dataset: %w", err)
+			}
+		} else {
+			d = datagen.Generate(datagen.Config{ScaleFactor: cfg.ScaleFactor, Seed: cfg.Seed})
+		}
+	}
+
+	grb.SetThreads(cfg.Threads)
+	s := &Server{
+		cfg:     cfg,
+		dataset: d,
+		engines: []engine{
+			{EngineQ1, core.NewQ1Incremental()},
+			{EngineQ2, core.NewQ2Incremental()},
+			{EngineQ2CC, core.NewQ2IncrementalCC()},
+		},
+		updates:    make(chan updateReq, cfg.QueueDepth),
+		writerDone: make(chan struct{}),
+	}
+
+	start := time.Now()
+	for _, e := range s.engines {
+		if err := e.sol.Load(d.Snapshot); err != nil {
+			return nil, fmt.Errorf("server: %s load: %w", e.sol.Name(), err)
+		}
+	}
+	s.phases.Load = time.Since(start)
+
+	start = time.Now()
+	results := make(map[string]string, len(s.engines))
+	for _, e := range s.engines {
+		res, err := e.sol.Initial()
+		if err != nil {
+			return nil, fmt.Errorf("server: %s initial: %w", e.sol.Name(), err)
+		}
+		results[e.key] = committedResult(e.sol, res)
+	}
+	s.phases.Initial = time.Since(start)
+
+	s.snap.Store(&Snapshot{Results: results, Engines: s.engineStats(), At: time.Now()})
+	go s.writer(newRefState(d.Snapshot))
+	return s, nil
+}
+
+// committedResult renders the answer a snapshot should publish for an
+// engine: the retained last-committed result via the core result-snapshot
+// accessor (the value the engine keeps serving from), falling back to the
+// result the phase call just returned for engines that don't retain one.
+func committedResult(sol core.Solution, phaseRes core.Result) string {
+	if rs, ok := sol.(core.ResultSnapshotter); ok {
+		if snap, ok := rs.LastResult(); ok {
+			return snap.String()
+		}
+	}
+	return phaseRes.String()
+}
+
+// engineStats sizes every engine's maintained state. Only safe from the
+// writer goroutine (or before it starts).
+func (s *Server) engineStats() map[string]core.EngineStats {
+	out := make(map[string]core.EngineStats, len(s.engines))
+	for _, e := range s.engines {
+		if sr, ok := e.sol.(core.StatsReporter); ok {
+			out[e.key] = sr.Stats()
+		}
+	}
+	return out
+}
+
+// Dataset exposes the served dataset (its change sets are the natural
+// replay stream for warming or testing).
+func (s *Server) Dataset() *model.Dataset { return s.dataset }
+
+// Snapshot returns the last committed state. It never blocks on writers.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Enqueue submits one update request (all its changes commit atomically, in
+// one batch). With wait=true it blocks until the request's batch has been
+// committed and published, returning any validation or engine error; with
+// wait=false it returns once the request is queued.
+func (s *Server) Enqueue(changes []model.Change, wait bool) error {
+	if len(changes) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if err := s.broken; err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %w", ErrBroken, err)
+	}
+	s.producers.Add(1)
+	s.mu.Unlock()
+
+	req := updateReq{changes: changes}
+	if wait {
+		req.done = make(chan error, 1)
+	}
+	// The send can block on a full queue; it must happen outside mu, which
+	// the writer needs to commit (and hence to drain the queue). Close
+	// cannot close the channel under us: it waits for producers first, and
+	// the writer keeps draining until the channel is closed.
+	s.updates <- req
+	s.producers.Done()
+	if wait {
+		return <-req.done
+	}
+	return nil
+}
+
+// ErrClosed is returned by Enqueue after Close.
+var ErrClosed = errors.New("server: closed")
+
+// ErrBroken wraps the first engine failure; the server keeps serving reads
+// but refuses writes once its engines may have diverged.
+var ErrBroken = errors.New("server: engines failed")
+
+// QueueDepth reports the number of update requests waiting in the queue.
+func (s *Server) QueueDepth() int { return len(s.updates) }
+
+// Close stops the writer after it drains the queue. Pending waiters are
+// answered; subsequent Enqueue calls return ErrClosed.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		<-s.writerDone
+		return
+	}
+	s.closing = true
+	s.mu.Unlock()
+	// New Enqueue calls now fail fast; wait for in-flight sends, then close
+	// the queue so the writer drains it and exits.
+	s.producers.Wait()
+	close(s.updates)
+	<-s.writerDone
+}
+
+// Handler returns the HTTP API (see handlers.go for routes).
+func (s *Server) Handler() http.Handler { return s.routes() }
+
+func (s *Server) setBroken(err error) {
+	s.mu.Lock()
+	if s.broken == nil {
+		s.broken = err
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) brokenErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.broken
+}
