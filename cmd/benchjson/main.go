@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// document, so CI can attach benchmark results as a machine-readable
+// artifact (BENCH_PR.json) and future tooling can diff runs.
+//
+// Usage:
+//
+//	go test -bench=. -benchtime=1x -run='^$' ./... | tee bench.txt
+//	benchjson -in bench.txt -out BENCH_PR.json
+//
+// Each benchmark line ("BenchmarkFoo-8  100  12345 ns/op  42 B/op …")
+// becomes one record with its package (tracked from the "pkg:" header
+// lines), name, iteration count, and a metrics map keyed by unit. The tool
+// exits nonzero when the input contains no benchmark lines, so an
+// accidentally empty artifact fails the job instead of uploading silently.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchmark is one parsed benchmark result line.
+type benchmark struct {
+	Package    string             `json:"package,omitempty"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// report is the document written to -out.
+type report struct {
+	Count      int         `json:"count"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		in  = flag.String("in", "-", "bench output to read (- for stdin)")
+		out = flag.String("out", "-", "JSON file to write (- for stdout)")
+	)
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := parseBench(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	dst := io.Writer(os.Stdout)
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		dst = f
+	}
+	enc := json.NewEncoder(dst)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseBench extracts benchmark result lines from go test output. It
+// returns an error when no benchmarks are found.
+func parseBench(r io.Reader) (*report, error) {
+	rep := &report{Benchmarks: []benchmark{}}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		b, ok := parseBenchLine(line)
+		if !ok {
+			continue
+		}
+		b.Package = pkg
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	rep.Count = len(rep.Benchmarks)
+	if rep.Count == 0 {
+		return nil, fmt.Errorf("no benchmark result lines found in input")
+	}
+	return rep, nil
+}
+
+// parseBenchLine parses one "BenchmarkName-P  N  value unit [value unit…]"
+// result line; ok is false for any other line.
+func parseBenchLine(line string) (benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	// Name, iterations, and at least one value/unit pair.
+	if len(fields) < 4 || (len(fields)-2)%2 != 0 {
+		return benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	b := benchmark{Name: fields[0], Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = val
+	}
+	return b, true
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBenchOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Some CPU @ 2.40GHz
+BenchmarkTable2/sf=1-8         	       1	  1234567 ns/op
+BenchmarkFig5/Q1/batch-8       	       2	   765432 ns/op	   43210 B/op	     321 allocs/op
+PASS
+ok  	repro	1.234s
+pkg: repro/internal/grb
+BenchmarkMxM-8                 	     100	    54321 ns/op
+PASS
+ok  	repro/internal/grb	0.456s
+?   	repro/examples/quickstart	[no test files]
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sampleBenchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count != 3 || len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", rep.Count)
+	}
+	b := rep.Benchmarks[1]
+	if b.Package != "repro" || b.Name != "BenchmarkFig5/Q1/batch-8" || b.Iterations != 2 {
+		t.Errorf("benchmark 1 header: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 765432 || b.Metrics["B/op"] != 43210 || b.Metrics["allocs/op"] != 321 {
+		t.Errorf("benchmark 1 metrics: %+v", b.Metrics)
+	}
+	if got := rep.Benchmarks[2].Package; got != "repro/internal/grb" {
+		t.Errorf("benchmark 2 package: %q", got)
+	}
+}
+
+func TestParseBenchRejectsEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok  \trepro\t0.1s\n")); err == nil {
+		t.Error("parseBench accepted input without benchmarks")
+	}
+}
+
+func TestParseBenchLineIgnoresNonResults(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkBroken",                   // no fields
+		"BenchmarkOdd-8 10 123",             // value without unit
+		"BenchmarkNaN-8 x 123 ns/op",        // non-numeric iterations
+		"Benchmarking something unrelated…", // prose
+		"--- BENCH: BenchmarkFoo-8",         // log header
+		"ok  \trepro\t0.5s",                 // summary
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine accepted %q", line)
+		}
+	}
+}

@@ -37,10 +37,11 @@ func main() {
 		batch   = flag.Int("batch", 64, "max changes merged into one commit")
 		flush   = flag.Duration("flush", 2*time.Millisecond, "max wait for co-batched updates before committing")
 		queue   = flag.Int("queue", 256, "write queue capacity (requests)")
+		shards  = flag.Int("shards", 1, "engine shards (one writer goroutine each)")
 		replay  = flag.Bool("replay", false, "replay the dataset's change sets through the write queue at startup")
 	)
 	flag.Parse()
-	if err := validateFlags(*addr, *data, *sf, *threads, *batch, *queue, *flush); err != nil {
+	if err := validateFlags(*addr, *data, *sf, *threads, *batch, *queue, *shards, *flush); err != nil {
 		fmt.Fprintln(os.Stderr, "ttcserve:", err)
 		os.Exit(2)
 	}
@@ -53,6 +54,7 @@ func main() {
 		MaxBatch:      *batch,
 		FlushInterval: *flush,
 		QueueDepth:    *queue,
+		Shards:        *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ttcserve:", err)
@@ -76,7 +78,7 @@ func main() {
 	}
 
 	snap := srv.Snapshot()
-	log.Printf("serving on %s (seq=%d q1=%q q2=%q)", *addr, snap.Seq,
+	log.Printf("serving on %s (shards=%d seq=%d q1=%q q2=%q)", *addr, *shards, snap.Seq,
 		snap.Results[server.EngineQ1], snap.Results[server.EngineQ2])
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
@@ -96,7 +98,7 @@ func main() {
 
 // validateFlags rejects nonsense flag combinations with exit status 2
 // before any work happens.
-func validateFlags(addr, data string, sf, threads, batch, queue int, flush time.Duration) error {
+func validateFlags(addr, data string, sf, threads, batch, queue, shards int, flush time.Duration) error {
 	if addr == "" {
 		return errors.New("-addr must not be empty")
 	}
@@ -111,6 +113,9 @@ func validateFlags(addr, data string, sf, threads, batch, queue int, flush time.
 	}
 	if queue < 1 {
 		return fmt.Errorf("-queue must be >= 1 (got %d)", queue)
+	}
+	if shards < 1 {
+		return fmt.Errorf("-shards must be >= 1 (got %d)", shards)
 	}
 	if flush <= 0 {
 		return fmt.Errorf("-flush must be positive (got %v)", flush)

@@ -9,24 +9,27 @@ import (
 // in this package makes `go test ./...` compile the binary.
 func TestValidateFlags(t *testing.T) {
 	cases := []struct {
-		name                      string
-		addr, data                string
-		sf, threads, batch, queue int
-		flush                     time.Duration
-		wantErr                   bool
+		name                              string
+		addr, data                        string
+		sf, threads, batch, queue, shards int
+		flush                             time.Duration
+		wantErr                           bool
 	}{
-		{"ok", ":8080", "", 1, 1, 64, 256, time.Millisecond, false},
-		{"ok data ignores sf", ":8080", "data/sf8", 0, 1, 64, 256, time.Millisecond, false},
-		{"empty addr", "", "", 1, 1, 64, 256, time.Millisecond, true},
-		{"zero sf", ":8080", "", 0, 1, 64, 256, time.Millisecond, true},
-		{"zero threads", ":8080", "", 1, 0, 64, 256, time.Millisecond, true},
-		{"zero batch", ":8080", "", 1, 1, 0, 256, time.Millisecond, true},
-		{"zero queue", ":8080", "", 1, 1, 64, 0, time.Millisecond, true},
-		{"zero flush", ":8080", "", 1, 1, 64, 256, 0, true},
-		{"negative flush", ":8080", "", 1, 1, 64, 256, -time.Second, true},
+		{"ok", ":8080", "", 1, 1, 64, 256, 1, time.Millisecond, false},
+		{"ok sharded", ":8080", "", 1, 1, 64, 256, 8, time.Millisecond, false},
+		{"ok data ignores sf", ":8080", "data/sf8", 0, 1, 64, 256, 1, time.Millisecond, false},
+		{"empty addr", "", "", 1, 1, 64, 256, 1, time.Millisecond, true},
+		{"zero sf", ":8080", "", 0, 1, 64, 256, 1, time.Millisecond, true},
+		{"zero threads", ":8080", "", 1, 0, 64, 256, 1, time.Millisecond, true},
+		{"zero batch", ":8080", "", 1, 1, 0, 256, 1, time.Millisecond, true},
+		{"zero queue", ":8080", "", 1, 1, 64, 0, 1, time.Millisecond, true},
+		{"zero shards", ":8080", "", 1, 1, 64, 256, 0, time.Millisecond, true},
+		{"negative shards", ":8080", "", 1, 1, 64, 256, -2, time.Millisecond, true},
+		{"zero flush", ":8080", "", 1, 1, 64, 256, 1, 0, true},
+		{"negative flush", ":8080", "", 1, 1, 64, 256, 1, -time.Second, true},
 	}
 	for _, tc := range cases {
-		err := validateFlags(tc.addr, tc.data, tc.sf, tc.threads, tc.batch, tc.queue, tc.flush)
+		err := validateFlags(tc.addr, tc.data, tc.sf, tc.threads, tc.batch, tc.queue, tc.shards, tc.flush)
 		if (err != nil) != tc.wantErr {
 			t.Errorf("%s: validateFlags = %v, wantErr=%v", tc.name, err, tc.wantErr)
 		}

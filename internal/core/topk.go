@@ -1,0 +1,39 @@
+package core
+
+// MergedTopK combines ranked partial results from independent engine
+// partitions into one global ranking. A sharded runtime gives every shard
+// exclusive ownership of a disjoint set of entities, so each shard's top-k
+// is exact for the entities it owns and the global top-k is a subset of the
+// union of the per-shard answers — merging the (at most k·shards) partial
+// entries under the total order Less reproduces exactly the answer a single
+// unsharded engine would give.
+//
+// The zero value is not usable; construct with NewMergedTopK.
+type MergedTopK struct {
+	r *Ranker
+}
+
+// NewMergedTopK returns a merger keeping the best k entries.
+func NewMergedTopK(k int) *MergedTopK { return &MergedTopK{r: NewTopK(k)} }
+
+// Merge folds one partition's ranked partial result in. Partitions must
+// rank disjoint entity sets: the merger does not deduplicate ids, because
+// under exclusive ownership duplicates cannot occur.
+func (m *MergedTopK) Merge(part Result) {
+	for _, e := range part {
+		m.r.Consider(e)
+	}
+}
+
+// Result returns the merged global ranking, best first.
+func (m *MergedTopK) Result() Result { return m.r.Result() }
+
+// MergeTopK merges ranked partial results over disjoint entity sets into a
+// global top-k in one call.
+func MergeTopK(k int, parts ...Result) Result {
+	m := NewMergedTopK(k)
+	for _, p := range parts {
+		m.Merge(p)
+	}
+	return m.Result()
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMergeTopKOrdersAcrossPartitions(t *testing.T) {
+	p1 := Result{{ID: 10, Score: 50, Timestamp: 1}, {ID: 11, Score: 30, Timestamp: 1}}
+	p2 := Result{{ID: 20, Score: 40, Timestamp: 9}, {ID: 21, Score: 40, Timestamp: 3}}
+	p3 := Result{} // an empty shard contributes nothing
+
+	got := MergeTopK(TopK, p1, p2, p3)
+	want := Result{
+		{ID: 10, Score: 50, Timestamp: 1},
+		{ID: 20, Score: 40, Timestamp: 9}, // newer timestamp wins the 40-tie
+		{ID: 21, Score: 40, Timestamp: 3},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMergeTopKFewerThanK(t *testing.T) {
+	got := MergeTopK(TopK, Result{{ID: 1, Score: 5}}, Result{{ID: 2, Score: 7}})
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 1 {
+		t.Errorf("got %v, want [2 1]", got.IDs())
+	}
+}
+
+// TestMergeTopKMatchesGlobalRanker partitions a random entry population
+// arbitrarily, ranks each partition with the plain Ranker, and checks that
+// merging the partial top-k answers equals ranking the whole population at
+// once — the exactness property the sharded runtime relies on.
+func TestMergeTopKMatchesGlobalRanker(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		parts := 1 + rng.Intn(5)
+		global := NewTopK(TopK)
+		rankers := make([]*Ranker, parts)
+		for i := range rankers {
+			rankers[i] = NewTopK(TopK)
+		}
+		for id := 0; id < n; id++ {
+			e := Entry{ID: int64(id), Score: int64(rng.Intn(10)), Timestamp: int64(rng.Intn(5))}
+			global.Consider(e)
+			rankers[rng.Intn(parts)].Consider(e)
+		}
+		m := NewMergedTopK(TopK)
+		for _, r := range rankers {
+			m.Merge(r.Result())
+		}
+		got, want := m.Result(), global.Result()
+		if got.String() != want.String() {
+			t.Fatalf("trial %d: merged %q, global %q", trial, got, want)
+		}
+	}
+}

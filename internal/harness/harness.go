@@ -58,6 +58,28 @@ func Factories(query string) map[string]Factory {
 	}
 }
 
+// ServedEngine names one engine the serving layer keeps warm: the key it
+// is served under over HTTP, the query it answers (which also selects the
+// shard-routing strategy — "Q1" partitions by post, "Q2" by friendship
+// component), and its factory.
+type ServedEngine struct {
+	Key   string
+	Query string
+	New   Factory
+}
+
+// ServedEngines returns the incremental engine lineup instantiated per
+// shard by internal/shard and served by internal/server, in serving order.
+// Every entry resolves through Factories, keeping the engine registry
+// single-sourced.
+func ServedEngines() []ServedEngine {
+	return []ServedEngine{
+		{Key: "q1", Query: "Q1", New: Factories("Q1")["incremental"]},
+		{Key: "q2", Query: "Q2", New: Factories("Q2")["incremental"]},
+		{Key: "q2cc", Query: "Q2", New: Factories("Q2")["incremental-cc"]},
+	}
+}
+
 // Tools returns the Fig. 5 tool lineup for a query: GraphBLAS Batch and
 // Incremental at 1 thread and at `parallelThreads` threads, plus the NMF
 // reference pair.

@@ -55,11 +55,12 @@ func (s *Server) writer(ref *refState) {
 	}
 }
 
-// commit validates each request against the reference state, applies the
-// merged change set of the accepted requests to every engine, publishes the
-// new snapshot, and answers the waiters. Rejected requests get their error
-// and do not reach any engine; accepted requests only get nil after their
-// results are visible to readers.
+// commit validates each request against the reference state, commits the
+// merged change set of the accepted requests through the sharded runtime
+// (whose barrier returns only once every shard has applied its slice),
+// publishes the new snapshot, and answers the waiters. Rejected requests
+// get their error and do not reach any engine; accepted requests only get
+// nil after their results are visible to readers on all shards.
 func (s *Server) commit(ref *refState, batch []updateReq) {
 	if err := s.brokenErr(); err != nil {
 		for i := range batch {
@@ -84,21 +85,17 @@ func (s *Server) commit(ref *refState, batch []updateReq) {
 	}
 
 	start := time.Now()
-	results := make(map[string]string, len(s.engines))
-	for _, e := range s.engines {
-		res, err := e.sol.Update(cs)
-		if err != nil {
-			// Validation should make this unreachable; if it happens the
-			// engines may have diverged, so stop accepting writes but keep
-			// serving the last committed snapshot.
-			err = fmt.Errorf("%s update: %w", e.sol.Name(), err)
-			s.setBroken(err)
-			for _, req := range accepted {
-				req.finish(fmt.Errorf("%w: %w", ErrBroken, err))
-			}
-			return
+	results, err := s.rt.Commit(cs)
+	if err != nil {
+		// Validation should make this unreachable; if it happens some
+		// shards may have applied the batch while another failed, so stop
+		// accepting writes but keep serving the last committed snapshot.
+		err = fmt.Errorf("commit: %w", err)
+		s.setBroken(err)
+		for _, req := range accepted {
+			req.finish(fmt.Errorf("%w: %w", ErrBroken, err))
 		}
-		results[e.key] = committedResult(e.sol, res)
+		return
 	}
 	elapsed := time.Since(start)
 
@@ -107,7 +104,7 @@ func (s *Server) commit(ref *refState, batch []updateReq) {
 		Seq:     prev.Seq + 1,
 		Changes: prev.Changes + len(cs.Changes),
 		Results: results,
-		Engines: s.engineStats(),
+		Engines: s.rt.EngineTotals(),
 		At:      time.Now(),
 	})
 

@@ -273,6 +273,24 @@ type statsResponse struct {
 	Engines         map[string]core.EngineStats `json:"engines"`
 	Q2Disagreements int                         `json:"q2Disagreements"`
 	Broken          string                      `json:"broken,omitempty"`
+
+	// Shards reports each engine shard's queue depth and apply latencies;
+	// Rebalances counts Q2 group migrations between shards, and
+	// ParkedComments the likeless comments the router holds outside every
+	// Q2 partition (engine comment totals + parked = all comments).
+	Shards         []shardStatsJSON `json:"shards"`
+	Rebalances     int              `json:"rebalances"`
+	ParkedComments int              `json:"parkedComments"`
+}
+
+// shardStatsJSON is the wire form of one shard's shard.Stats.
+type shardStatsJSON struct {
+	Shard   int        `json:"shard"`
+	Depth   int        `json:"depth"`
+	Commits int        `json:"commits"`
+	Reloads int        `json:"reloads"`
+	Last    durationMS `json:"lastMs"`
+	Mean    durationMS `json:"meanMs"`
 }
 
 // durationMS renders a duration as fractional milliseconds in JSON.
@@ -313,6 +331,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Threads:         grb.Threads(),
 		Engines:         snap.Engines,
 		Q2Disagreements: disagreements,
+		Rebalances:      s.rt.Rebalances(),
+		ParkedComments:  s.rt.ParkedComments(),
+	}
+	for _, st := range s.rt.ShardStats() {
+		resp.Shards = append(resp.Shards, shardStatsJSON{
+			Shard:   st.Shard,
+			Depth:   st.Depth,
+			Commits: st.Commits,
+			Reloads: st.Reloads,
+			Last:    durationMS(st.Last),
+			Mean:    durationMS(st.Mean()),
+		})
 	}
 	resp.Updates.Count = m.UpdateCount
 	resp.Updates.Total = durationMS(m.UpdateTotal)

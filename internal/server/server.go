@@ -1,17 +1,21 @@
 // Package server turns the paper's continuous-reevaluation loop into a
 // long-lived serving subsystem: it loads a Social Media dataset once, keeps
 // the incremental engines (GraphBLAS Q1/Q2 and the connected-components Q2
-// extension) warm, ingests comment/like/friendship updates through a
-// batching write queue with a single writer per process, and serves
-// concurrent Q1/Q2 reads over HTTP/JSON with snapshot isolation — readers
-// always observe the result of the last committed batch, never a mid-update
-// state.
+// extension) warm behind an N-way sharded runtime (internal/shard), ingests
+// comment/like/friendship updates through a batching write queue, and
+// serves concurrent Q1/Q2 reads over HTTP/JSON with snapshot isolation —
+// readers always observe the result of the last committed batch, never a
+// mid-update state.
 //
-// Write path: Enqueue → buffered queue → the writer goroutine drains
+// Write path: Enqueue → buffered queue → the batching goroutine drains
 // requests into one batch (bounded by MaxBatch changes or FlushInterval,
 // whichever comes first), validates each request against the reference
-// state, applies the merged change set to every engine, then atomically
-// publishes a new Snapshot. Read path: an atomic pointer load.
+// state, then commits the merged change set through the sharded runtime —
+// one writer goroutine per shard applies its slice behind a commit barrier,
+// so the new Snapshot is published only once the batch is visible on every
+// shard and wait=1 keeps meaning "globally visible". Read path: an atomic
+// pointer load merging nothing at all — per-shard answers were merged at
+// commit time.
 package server
 
 import (
@@ -22,10 +26,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/grb"
 	"repro/internal/model"
+	"repro/internal/shard"
 )
 
 // Engine keys served by the query endpoints.
@@ -58,6 +62,9 @@ type Config struct {
 	// QueueDepth is the write queue's buffered capacity in requests.
 	// Default 256.
 	QueueDepth int
+	// Shards is the number of engine shards (one writer goroutine each;
+	// see internal/shard for the partitioning). Default 1.
+	Shards int
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +85,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.QueueDepth == 0 {
 		c.QueueDepth = 256
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
 	}
 	return c
 }
@@ -100,6 +110,9 @@ func (c Config) Validate() error {
 	if c.QueueDepth < 0 {
 		return fmt.Errorf("queue depth must be >= 1 (got %d)", c.QueueDepth)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("shards must be >= 1 (got %d)", c.Shards)
+	}
 	return nil
 }
 
@@ -115,20 +128,16 @@ type phaseStats struct {
 	UpdateLast  time.Duration
 }
 
-// engine pairs a served key with a warm solution instance. Solutions are
-// not safe for concurrent use; only the writer goroutine touches them.
-type engine struct {
-	key string
-	sol core.Solution
-}
-
 // Server is the serving subsystem. Create with New, serve via Handler,
 // stop with Close.
 type Server struct {
 	cfg     Config
 	dataset *model.Dataset
 
-	engines []engine
+	// rt owns the engines: one partition and one writer goroutine per
+	// shard. Only the batching goroutine commits through it; the stats
+	// accessors are safe for concurrent readers.
+	rt *shard.Runtime
 
 	snap atomic.Pointer[Snapshot]
 
@@ -178,65 +187,23 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	grb.SetThreads(cfg.Threads)
+	rt, err := shard.New(cfg.Shards, d.Snapshot)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
 	s := &Server{
-		cfg:     cfg,
-		dataset: d,
-		engines: []engine{
-			{EngineQ1, core.NewQ1Incremental()},
-			{EngineQ2, core.NewQ2Incremental()},
-			{EngineQ2CC, core.NewQ2IncrementalCC()},
-		},
+		cfg:        cfg,
+		dataset:    d,
+		rt:         rt,
 		updates:    make(chan updateReq, cfg.QueueDepth),
 		writerDone: make(chan struct{}),
 	}
+	s.phases.Load = rt.LoadDuration()
+	s.phases.Initial = rt.InitialDuration()
 
-	start := time.Now()
-	for _, e := range s.engines {
-		if err := e.sol.Load(d.Snapshot); err != nil {
-			return nil, fmt.Errorf("server: %s load: %w", e.sol.Name(), err)
-		}
-	}
-	s.phases.Load = time.Since(start)
-
-	start = time.Now()
-	results := make(map[string]string, len(s.engines))
-	for _, e := range s.engines {
-		res, err := e.sol.Initial()
-		if err != nil {
-			return nil, fmt.Errorf("server: %s initial: %w", e.sol.Name(), err)
-		}
-		results[e.key] = committedResult(e.sol, res)
-	}
-	s.phases.Initial = time.Since(start)
-
-	s.snap.Store(&Snapshot{Results: results, Engines: s.engineStats(), At: time.Now()})
+	s.snap.Store(&Snapshot{Results: rt.Results(), Engines: rt.EngineTotals(), At: time.Now()})
 	go s.writer(newRefState(d.Snapshot))
 	return s, nil
-}
-
-// committedResult renders the answer a snapshot should publish for an
-// engine: the retained last-committed result via the core result-snapshot
-// accessor (the value the engine keeps serving from), falling back to the
-// result the phase call just returned for engines that don't retain one.
-func committedResult(sol core.Solution, phaseRes core.Result) string {
-	if rs, ok := sol.(core.ResultSnapshotter); ok {
-		if snap, ok := rs.LastResult(); ok {
-			return snap.String()
-		}
-	}
-	return phaseRes.String()
-}
-
-// engineStats sizes every engine's maintained state. Only safe from the
-// writer goroutine (or before it starts).
-func (s *Server) engineStats() map[string]core.EngineStats {
-	out := make(map[string]core.EngineStats, len(s.engines))
-	for _, e := range s.engines {
-		if sr, ok := e.sol.(core.StatsReporter); ok {
-			out[e.key] = sr.Stats()
-		}
-	}
-	return out
 }
 
 // Dataset exposes the served dataset (its change sets are the natural
@@ -292,22 +259,36 @@ var ErrBroken = errors.New("server: engines failed")
 // QueueDepth reports the number of update requests waiting in the queue.
 func (s *Server) QueueDepth() int { return len(s.updates) }
 
-// Close stops the writer after it drains the queue. Pending waiters are
-// answered; subsequent Enqueue calls return ErrClosed.
+// Close stops the batching goroutine after it drains the queue, then stops
+// the per-shard writers. Pending waiters are answered (committed requests
+// with nil, the rest with an error); subsequent Enqueue calls return
+// ErrClosed.
+//
+// Shutdown-race audit (see TestCloseDuringWaitedEnqueue): a waited Enqueue
+// concurrently with Close can never hang. Enqueue registers in producers
+// under mu before sending, so Close's producers.Wait() delays the channel
+// close past every in-flight send; the batching goroutine keeps draining
+// until the channel is closed, so every sent request reaches commit, and
+// commit answers every waiter exactly once (nil after publication,
+// ErrRejected/ErrBroken otherwise). An Enqueue that arrives after Close
+// flipped closing fails fast with ErrClosed and never touches the queue.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closing {
 		s.mu.Unlock()
 		<-s.writerDone
+		s.rt.Close()
 		return
 	}
 	s.closing = true
 	s.mu.Unlock()
 	// New Enqueue calls now fail fast; wait for in-flight sends, then close
-	// the queue so the writer drains it and exits.
+	// the queue so the batching goroutine drains it and exits; only then is
+	// the shard runtime (which it commits through) shut down.
 	s.producers.Wait()
 	close(s.updates)
 	<-s.writerDone
+	s.rt.Close()
 }
 
 // Handler returns the HTTP API (see handlers.go for routes).

@@ -75,13 +75,24 @@ func postUpdate(t *testing.T, url string, changes []model.Change, wait bool) (*h
 // served answer must equal the batch-engine oracle's answer for the same
 // committed prefix (identified by the response's seq), i.e. readers observe
 // only committed, consistent states. Run under -race this also exercises
-// the snapshot store and write queue for data races.
+// the snapshot store, write queue and per-shard writers for data races; the
+// multi-shard variant is the serving-level oracle equivalence test required
+// by the sharded runtime (per-shard answers merged at commit time must be
+// indistinguishable from the 1-shard engine's).
 func TestServeConcurrentReadsWithOracle(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			testServeConcurrentReadsWithOracle(t, shards)
+		})
+	}
+}
+
+func testServeConcurrentReadsWithOracle(t *testing.T, shards int) {
 	d := datagen.Generate(datagen.Config{ScaleFactor: 1, Seed: 42})
 	oracleQ1 := oracle(t, "Q1", d)
 	oracleQ2 := oracle(t, "Q2", d)
 
-	srv, err := New(Config{Dataset: d, FlushInterval: time.Millisecond})
+	srv, err := New(Config{Dataset: d, FlushInterval: time.Millisecond, Shards: shards})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +190,21 @@ func TestServeConcurrentReadsWithOracle(t *testing.T) {
 	if st.Engines[EngineQ1].NNZ == 0 || st.Engines[EngineQ2].NNZ == 0 || st.Engines[EngineQ2CC].NNZ == 0 {
 		t.Errorf("engine stats missing nnz: %+v", st.Engines)
 	}
-	t.Logf("%d concurrent reads validated against the oracle across %d commits", reads.Load(), st.Seq)
+	if len(st.Shards) != shards {
+		t.Fatalf("stats report %d shards, want %d", len(st.Shards), shards)
+	}
+	totalCommits := 0
+	for _, sh := range st.Shards {
+		totalCommits += sh.Commits
+		if sh.Commits > 0 && sh.Mean == 0 && sh.Last == 0 {
+			t.Errorf("shard %d: %d commits but no latency recorded", sh.Shard, sh.Commits)
+		}
+	}
+	if totalCommits == 0 {
+		t.Error("no shard reported any commit")
+	}
+	t.Logf("%d concurrent reads validated against the oracle across %d commits (%d shards, %d rebalances)",
+		reads.Load(), st.Seq, shards, st.Rebalances)
 }
 
 // TestUpdateValidation checks that malformed and integrity-violating
@@ -386,6 +411,83 @@ func TestBackpressureDoesNotDeadlock(t *testing.T) {
 	}
 	if err := enqErr.Load(); err != nil {
 		t.Fatalf("producer enqueue failed: %v", err)
+	}
+}
+
+// TestCloseDuringWaitedEnqueue is the shutdown-race regression test: many
+// goroutines issue waited Enqueues while Close runs concurrently (with a
+// deliberately tiny queue so producers block on a full channel mid-race).
+// Every waiter must return promptly — nil for requests that made it into a
+// committed batch, ErrClosed for ones that lost the race — and never hang.
+// The audit on Server.Close documents why: the producers WaitGroup delays
+// the channel close past every in-flight send, and the batching goroutine
+// drains and answers everything that was sent. Run under -race this also
+// checks the closing/producers handshake for data races.
+func TestCloseDuringWaitedEnqueue(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		srv, err := New(Config{
+			Dataset:       datagen.Generate(datagen.Config{ScaleFactor: 1, Seed: 21}),
+			QueueDepth:    1,
+			MaxBatch:      4,
+			FlushInterval: time.Millisecond,
+			Shards:        2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		const writers, perWriter = 6, 10
+		results := make(chan error, writers*perWriter)
+		var wg sync.WaitGroup
+		for w := 0; w < writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < perWriter; i++ {
+					id := model.ID(900_000 + round*10_000 + w*perWriter + i)
+					results <- srv.Enqueue([]model.Change{
+						{Kind: model.KindAddUser, User: model.User{ID: id}},
+					}, true)
+				}
+			}(w)
+		}
+		// Close while the waited writers are in full flight.
+		closed := make(chan struct{})
+		go func() { srv.Close(); close(closed) }()
+
+		finished := make(chan struct{})
+		go func() { wg.Wait(); close(finished) }()
+		select {
+		case <-finished:
+		case <-time.After(30 * time.Second):
+			t.Fatal("shutdown race: waited Enqueue hung across Close")
+		}
+		select {
+		case <-closed:
+		case <-time.After(30 * time.Second):
+			t.Fatal("shutdown race: Close hung")
+		}
+		close(results)
+		committed, rejected := 0, 0
+		for err := range results {
+			switch {
+			case err == nil:
+				committed++
+			case errors.Is(err, ErrClosed):
+				rejected++
+			default:
+				t.Fatalf("waited enqueue returned unexpected error: %v", err)
+			}
+		}
+		// Committed waiters must be visible in the final snapshot.
+		if got := srv.Snapshot().Changes; got != committed {
+			t.Errorf("round %d: snapshot has %d committed changes, %d waiters got nil", round, got, committed)
+		}
+		// After Close every further write fails fast.
+		err = srv.Enqueue([]model.Change{{Kind: model.KindAddUser, User: model.User{ID: 1}}}, true)
+		if !errors.Is(err, ErrClosed) {
+			t.Errorf("round %d: enqueue after close: %v, want ErrClosed", round, err)
+		}
 	}
 }
 
