@@ -3,35 +3,56 @@ package main
 import (
 	"testing"
 	"time"
+
+	"repro/internal/wal"
 )
 
 // TestValidateFlags doubles as the build-level smoke test: having any test
 // in this package makes `go test ./...` compile the binary.
 func TestValidateFlags(t *testing.T) {
-	cases := []struct {
-		name                              string
-		addr, data                        string
+	type flags struct {
+		addr, data, fsync                 string
 		sf, threads, batch, queue, shards int
-		flush                             time.Duration
-		wantErr                           bool
+		snapEvery                         int
+		flush, fsyncIvl                   time.Duration
+	}
+	ok := flags{addr: ":8080", fsync: "always", sf: 1, threads: 1, batch: 64,
+		queue: 256, shards: 1, snapEvery: 256, flush: time.Millisecond, fsyncIvl: time.Millisecond}
+	cases := []struct {
+		name    string
+		mut     func(*flags)
+		wantErr bool
 	}{
-		{"ok", ":8080", "", 1, 1, 64, 256, 1, time.Millisecond, false},
-		{"ok sharded", ":8080", "", 1, 1, 64, 256, 8, time.Millisecond, false},
-		{"ok data ignores sf", ":8080", "data/sf8", 0, 1, 64, 256, 1, time.Millisecond, false},
-		{"empty addr", "", "", 1, 1, 64, 256, 1, time.Millisecond, true},
-		{"zero sf", ":8080", "", 0, 1, 64, 256, 1, time.Millisecond, true},
-		{"zero threads", ":8080", "", 1, 0, 64, 256, 1, time.Millisecond, true},
-		{"zero batch", ":8080", "", 1, 1, 0, 256, 1, time.Millisecond, true},
-		{"zero queue", ":8080", "", 1, 1, 64, 0, 1, time.Millisecond, true},
-		{"zero shards", ":8080", "", 1, 1, 64, 256, 0, time.Millisecond, true},
-		{"negative shards", ":8080", "", 1, 1, 64, 256, -2, time.Millisecond, true},
-		{"zero flush", ":8080", "", 1, 1, 64, 256, 1, 0, true},
-		{"negative flush", ":8080", "", 1, 1, 64, 256, 1, -time.Second, true},
+		{"ok", func(f *flags) {}, false},
+		{"ok sharded", func(f *flags) { f.shards = 8 }, false},
+		{"ok data ignores sf", func(f *flags) { f.data, f.sf = "data/sf8", 0 }, false},
+		{"ok fsync interval", func(f *flags) { f.fsync = "interval" }, false},
+		{"ok fsync off", func(f *flags) { f.fsync = "off" }, false},
+		{"ok snapshots disabled", func(f *flags) { f.snapEvery = -1 }, false},
+		{"empty addr", func(f *flags) { f.addr = "" }, true},
+		{"zero sf", func(f *flags) { f.sf = 0 }, true},
+		{"zero threads", func(f *flags) { f.threads = 0 }, true},
+		{"zero batch", func(f *flags) { f.batch = 0 }, true},
+		{"zero queue", func(f *flags) { f.queue = 0 }, true},
+		{"zero shards", func(f *flags) { f.shards = 0 }, true},
+		{"negative shards", func(f *flags) { f.shards = -2 }, true},
+		{"zero flush", func(f *flags) { f.flush = 0 }, true},
+		{"negative flush", func(f *flags) { f.flush = -time.Second }, true},
+		{"bad fsync policy", func(f *flags) { f.fsync = "sometimes" }, true},
+		{"zero fsync interval", func(f *flags) { f.fsyncIvl = 0 }, true},
+		{"nondefault snapshot-every", func(f *flags) { f.snapEvery = 10 }, false},
+		{"zero snapshot-every", func(f *flags) { f.snapEvery = 0 }, true},
 	}
 	for _, tc := range cases {
-		err := validateFlags(tc.addr, tc.data, tc.sf, tc.threads, tc.batch, tc.queue, tc.shards, tc.flush)
+		f := ok
+		tc.mut(&f)
+		policy, err := validateFlags(f.addr, f.data, f.fsync,
+			f.sf, f.threads, f.batch, f.queue, f.shards, f.snapEvery, f.flush, f.fsyncIvl)
 		if (err != nil) != tc.wantErr {
 			t.Errorf("%s: validateFlags = %v, wantErr=%v", tc.name, err, tc.wantErr)
+		}
+		if tc.name == "ok fsync off" && err == nil && policy != wal.SyncOff {
+			t.Errorf("fsync off resolved to %v", policy)
 		}
 	}
 }

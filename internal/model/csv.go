@@ -205,6 +205,11 @@ func parseChange(rec []string) (Change, error) {
 	fail := func(want int) (Change, error) {
 		return Change{}, fmt.Errorf("model: change row %q needs %d fields", strings.Join(rec, ","), want)
 	}
+	// encoding/csv never yields a zero-field record, but parseChange must
+	// stay total on any input (see FuzzParseChange).
+	if len(rec) == 0 {
+		return Change{}, fmt.Errorf("model: empty change row")
+	}
 	switch rec[0] {
 	case "post":
 		if len(rec) != 3 {

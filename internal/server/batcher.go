@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/wal"
 )
 
 // ErrRejected marks an update that failed referential-integrity validation
@@ -26,13 +27,22 @@ func (r *updateReq) finish(err error) {
 	}
 }
 
-// writer is the single goroutine that owns the engines and the reference
-// state. It drains the queue into batches — a batch closes when MaxBatch
-// changes have accumulated or FlushInterval has elapsed since its first
-// request — then commits each batch and publishes the new snapshot. It
-// exits when Close closes the queue, after draining it.
-func (s *Server) writer(ref *refState) {
+// writer is the single goroutine that owns the engines, the reference
+// state and the materialized model state. It first replays the recovered
+// WAL tail (if any) and flips the server ready, then drains the queue into
+// batches — a batch closes when MaxBatch changes have accumulated or
+// FlushInterval has elapsed since its first request — commits each batch
+// and publishes the new snapshot. It exits when Close closes the queue,
+// after draining it. Requests enqueued during replay simply wait in the
+// queue: they commit (and their wait=1 returns) only after every recovered
+// batch is visible, preserving commit order across the restart.
+func (s *Server) writer(ref *refState, replay []wal.Batch) {
 	defer close(s.writerDone)
+	if len(replay) > 0 {
+		if s.replayWAL(ref, replay) {
+			s.ready.Store(true)
+		}
+	}
 	for first := range s.updates {
 		batch := []updateReq{first}
 		n := len(first.changes)
@@ -55,12 +65,14 @@ func (s *Server) writer(ref *refState) {
 	}
 }
 
-// commit validates each request against the reference state, commits the
-// merged change set of the accepted requests through the sharded runtime
-// (whose barrier returns only once every shard has applied its slice),
-// publishes the new snapshot, and answers the waiters. Rejected requests
-// get their error and do not reach any engine; accepted requests only get
-// nil after their results are visible to readers on all shards.
+// commit validates each request against the reference state, makes the
+// merged change set of the accepted requests durable (WAL append, honoring
+// the fsync policy), commits it through the sharded runtime (whose barrier
+// returns only once every shard has applied its slice), publishes the new
+// snapshot, and answers the waiters. Rejected requests get their error and
+// do not reach any engine; accepted requests only get nil after their
+// batch is in the WAL *and* visible to readers on all shards, so a waited
+// update survives a crash the instant /update returns.
 func (s *Server) commit(ref *refState, batch []updateReq) {
 	if err := s.brokenErr(); err != nil {
 		for i := range batch {
@@ -84,24 +96,40 @@ func (s *Server) commit(ref *refState, batch []updateReq) {
 		return
 	}
 
+	fail := func(err error) {
+		s.setBroken(err)
+		for _, req := range accepted {
+			req.finish(fmt.Errorf("%w: %w", ErrBroken, err))
+		}
+	}
+
+	seq := s.snap.Load().Seq + 1
+	if s.wal != nil {
+		// Write-ahead: the batch must be durable before any engine applies
+		// it. A batch in the WAL but not yet applied is exactly what
+		// startup replay redoes, so a crash at any point after this line
+		// recovers the batch.
+		if err := s.wal.Append(uint64(seq), cs.Changes); err != nil {
+			fail(fmt.Errorf("wal append: %w", err))
+			return
+		}
+		s.curr.Apply(cs)
+	}
+
 	start := time.Now()
 	results, err := s.rt.Commit(cs)
 	if err != nil {
 		// Validation should make this unreachable; if it happens some
 		// shards may have applied the batch while another failed, so stop
 		// accepting writes but keep serving the last committed snapshot.
-		err = fmt.Errorf("commit: %w", err)
-		s.setBroken(err)
-		for _, req := range accepted {
-			req.finish(fmt.Errorf("%w: %w", ErrBroken, err))
-		}
+		fail(fmt.Errorf("commit: %w", err))
 		return
 	}
 	elapsed := time.Since(start)
 
 	prev := s.snap.Load()
 	s.snap.Store(&Snapshot{
-		Seq:     prev.Seq + 1,
+		Seq:     seq,
 		Changes: prev.Changes + len(cs.Changes),
 		Results: results,
 		Engines: s.rt.EngineTotals(),
@@ -120,4 +148,75 @@ func (s *Server) commit(ref *refState, batch []updateReq) {
 	for _, req := range accepted {
 		req.finish(nil)
 	}
+
+	// Snapshot cadence: every SnapshotEvery commits, after the waiters are
+	// answered so snapshot encoding never sits on a commit ack.
+	if s.wal != nil && s.cfg.SnapshotEvery > 0 && seq%s.cfg.SnapshotEvery == 0 {
+		s.snapshotDurable(seq)
+	}
+}
+
+// replayWAL redoes the recovered log tail through the engines before any
+// queued request commits. Returns false (leaving the server broken and not
+// ready) if a recovered batch fails — that means the durability directory
+// disagrees with the base snapshot, and serving writes on top would
+// diverge. On success it writes a fresh durable snapshot so the next
+// restart replays nothing.
+func (s *Server) replayWAL(ref *refState, batches []wal.Batch) bool {
+	start := time.Now()
+	replayed := 0
+	for i, b := range batches {
+		s.mu.Lock()
+		s.replayDone = i
+		s.mu.Unlock()
+		replayed += len(b.Changes)
+		cs := &model.ChangeSet{Changes: b.Changes}
+		if err := ref.applyAll(b.Changes); err != nil {
+			s.setBroken(fmt.Errorf("wal replay: batch seq %d: %w", b.Seq, err))
+			return false
+		}
+		s.curr.Apply(cs)
+		results, err := s.rt.Commit(cs)
+		if err != nil {
+			s.setBroken(fmt.Errorf("wal replay: commit seq %d: %w", b.Seq, err))
+			return false
+		}
+		prev := s.snap.Load()
+		s.snap.Store(&Snapshot{
+			Seq:     int(b.Seq),
+			Changes: prev.Changes + len(b.Changes),
+			Results: results,
+			Engines: s.rt.EngineTotals(),
+			At:      time.Now(),
+		})
+	}
+	last := int(batches[len(batches)-1].Seq)
+	s.snapshotDurable(last)
+	s.mu.Lock()
+	s.replayDone = len(batches)
+	s.recovery.ReplayedBatches = len(batches)
+	s.recovery.ReplayedChanges = replayed
+	s.recovery.Duration = time.Since(start)
+	s.mu.Unlock()
+	return true
+}
+
+// snapshotDurable persists the materialized model state at seq. A failure
+// is not fatal — the WAL still holds every commit since the last good
+// snapshot, so durability degrades to a longer replay — but it is counted
+// and surfaced in /stats.
+func (s *Server) snapshotDurable(seq int) {
+	if seq == s.lastSnap {
+		return
+	}
+	start := time.Now()
+	err := s.wal.WriteSnapshot(uint64(seq), uint64(s.snap.Load().Changes), s.curr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		s.snapErrs++
+		return
+	}
+	s.lastSnap = seq
+	s.lastSnapDur = time.Since(start)
 }

@@ -19,7 +19,11 @@ import (
 //	GET  /query/q2            Q2 top-3 (?engine=cc serves the CC extension)
 //	POST /update              enqueue changes; {"wait":true} blocks to commit
 //	GET  /stats               per-phase latencies, engine sizes, queue depth
-//	GET  /healthz             200 while healthy, 503 once engines failed
+//	GET  /healthz             readiness: 503 + JSON reason during startup
+//	                          WAL replay or after an engine failure, 200
+//	                          once committed snapshots are being served;
+//	                          ?probe=live answers liveness (200 while the
+//	                          process serves at all)
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query/q1", s.handleQuery("Q1", EngineQ1))
@@ -281,6 +285,42 @@ type statsResponse struct {
 	Shards         []shardStatsJSON `json:"shards"`
 	Rebalances     int              `json:"rebalances"`
 	ParkedComments int              `json:"parkedComments"`
+
+	// Ready mirrors /healthz readiness; Persistence reports the durability
+	// subsystem (nil when -data-dir is not configured).
+	Ready       bool              `json:"ready"`
+	Persistence *persistStatsJSON `json:"persistence,omitempty"`
+}
+
+// persistStatsJSON is the /stats view of internal/wal: log and snapshot
+// counters plus what startup recovery did.
+type persistStatsJSON struct {
+	Dir   string `json:"dir"`
+	Fsync string `json:"fsync"`
+
+	WalAppends    int64  `json:"walAppends"`
+	WalBytes      int64  `json:"walBytes"`
+	WalFsyncs     int64  `json:"walFsyncs"`
+	WalRotations  int64  `json:"walRotations"`
+	WalSegments   int    `json:"walSegments"`
+	WalLastSeq    uint64 `json:"walLastSeq"`
+	WalSyncErrors int64  `json:"walSyncErrors"`
+
+	Snapshots       int64      `json:"snapshots"`
+	SnapshotBytes   int64      `json:"snapshotBytes"`
+	LastSnapshotSeq uint64     `json:"lastSnapshotSeq"`
+	LastSnapshotMs  durationMS `json:"lastSnapshotMs"`
+	SnapshotErrors  int        `json:"snapshotErrors"`
+	TrimmedSegments int64      `json:"trimmedSegments"`
+
+	Recovered bool `json:"recovered"`
+	Recovery  struct {
+		SnapshotSeq     int        `json:"snapshotSeq"`
+		ReplayedBatches int        `json:"replayedBatches"`
+		ReplayedChanges int        `json:"replayedChanges"`
+		TruncatedBytes  int64      `json:"truncatedBytes"`
+		Ms              durationMS `json:"ms"`
+	} `json:"recovery"`
 }
 
 // shardStatsJSON is the wire form of one shard's shard.Stats.
@@ -320,6 +360,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	m := s.phases
 	disagreements := s.q2Disagreements
 	broken := s.broken
+	recovery := s.recovery
+	lastSnapDur := s.lastSnapDur
+	snapErrs := s.snapErrs
 	s.mu.Unlock()
 
 	resp := statsResponse{
@@ -353,16 +396,80 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if broken != nil {
 		resp.Broken = broken.Error()
 	}
+	resp.Ready = s.Ready()
+	if s.wal != nil {
+		wm := s.wal.Metrics()
+		p := &persistStatsJSON{
+			Dir:             s.cfg.PersistDir,
+			Fsync:           s.cfg.Fsync.String(),
+			WalAppends:      wm.Appends,
+			WalBytes:        wm.AppendedBytes,
+			WalFsyncs:       wm.Fsyncs,
+			WalRotations:    wm.Rotations,
+			WalSegments:     wm.Segments,
+			WalLastSeq:      s.wal.LastSeq(),
+			WalSyncErrors:   wm.SyncErrors,
+			Snapshots:       wm.Snapshots,
+			SnapshotBytes:   wm.SnapshotBytes,
+			LastSnapshotSeq: wm.LastSnapSeq,
+			LastSnapshotMs:  durationMS(lastSnapDur),
+			SnapshotErrors:  snapErrs,
+			TrimmedSegments: wm.TrimmedSegs,
+			Recovered:       s.recovered,
+		}
+		p.Recovery.SnapshotSeq = recovery.SnapshotSeq
+		p.Recovery.ReplayedBatches = recovery.ReplayedBatches
+		p.Recovery.ReplayedChanges = recovery.ReplayedChanges
+		p.Recovery.TruncatedBytes = recovery.TruncatedBytes
+		p.Recovery.Ms = durationMS(recovery.Duration)
+		resp.Persistence = p
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// healthResponse is the /healthz body for both probes.
+type healthResponse struct {
+	// Status is "live", "ready", "recovering" or "broken".
+	Status string `json:"status"`
+	// Reason explains a 503 (replay progress or the first engine error).
+	Reason string `json:"reason,omitempty"`
+	// Seq is the last committed batch visible to readers.
+	Seq int `json:"seq"`
+}
+
+// handleHealthz splits liveness from readiness. The default (readiness)
+// probe answers 503 while startup WAL replay is still committing recovered
+// batches — the served snapshots lag the durable history, so load
+// balancers should hold traffic — and once the engines are broken; it
+// answers 200 only when every recovered commit is visible. ?probe=live
+// reports only that the process is serving.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if err := s.brokenErr(); err != nil {
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintln(w, "ok")
+	seq := s.Snapshot().Seq
+	if r.URL.Query().Get("probe") == "live" {
+		writeJSON(w, http.StatusOK, healthResponse{Status: "live", Seq: seq})
+		return
+	}
+	if err := s.brokenErr(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, healthResponse{
+			Status: "broken", Reason: err.Error(), Seq: seq,
+		})
+		return
+	}
+	if !s.Ready() {
+		s.mu.Lock()
+		reason := fmt.Sprintf("startup replay in progress: %d/%d write-ahead-log batches committed",
+			s.replayDone, s.replayTotal)
+		s.mu.Unlock()
+		writeJSON(w, http.StatusServiceUnavailable, healthResponse{
+			Status: "recovering", Reason: reason, Seq: seq,
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ready", Seq: seq})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,0 +1,463 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/wal"
+)
+
+// waitReady polls until startup WAL replay has completed (or fails the
+// test after a generous deadline).
+func waitReady(t *testing.T, srv *Server) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !srv.Ready() {
+		if err := srv.brokenErr(); err != nil {
+			t.Fatalf("server broke during recovery: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("server did not become ready within 30s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// checkAgainstOracle asserts the served snapshot is exactly the oracle's
+// answer after k committed change sets.
+func checkAgainstOracle(t *testing.T, label string, snap *Snapshot, k int, oracleQ1, oracleQ2 []string) {
+	t.Helper()
+	if snap.Seq != k {
+		t.Fatalf("%s: seq %d, want %d", label, snap.Seq, k)
+	}
+	if got := snap.Results[EngineQ1]; got != oracleQ1[k] {
+		t.Fatalf("%s: Q1 at seq %d served %q, oracle %q", label, k, got, oracleQ1[k])
+	}
+	if got := snap.Results[EngineQ2]; got != oracleQ2[k] {
+		t.Fatalf("%s: Q2 at seq %d served %q, oracle %q", label, k, got, oracleQ2[k])
+	}
+	if got := snap.Results[EngineQ2CC]; got != oracleQ2[k] {
+		t.Fatalf("%s: Q2-CC at seq %d served %q, oracle %q", label, k, got, oracleQ2[k])
+	}
+}
+
+// TestCrashRecoveryOracle is the durability centerpiece: a persistent
+// server is killed mid-workload at random points (no final snapshot, no
+// WAL flush beyond what each commit's fsync already guaranteed), restarted
+// from its -data-dir, and must serve top-3 answers change-for-change
+// identical to both an uninterrupted incremental run and the batch-engine
+// recomputation oracle — at 1 shard and at N shards, under -race in CI.
+func TestCrashRecoveryOracle(t *testing.T) {
+	for _, shards := range []int{1, 3} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			testCrashRecoveryOracle(t, shards)
+		})
+	}
+}
+
+func testCrashRecoveryOracle(t *testing.T, shards int) {
+	d := datagen.Generate(datagen.Config{ScaleFactor: 1, Seed: 42})
+	oracleQ1 := oracle(t, "Q1", d) // batch recomputation reference
+	oracleQ2 := oracle(t, "Q2", d)
+	n := len(d.ChangeSets)
+	wantChanges := make([]int, n+1) // prefix sums of committed changes
+	for k := 1; k <= n; k++ {
+		wantChanges[k] = wantChanges[k-1] + len(d.ChangeSets[k-1].Changes)
+	}
+
+	// The uninterrupted incremental run: same engines, no persistence, no
+	// crashes. (Its answers must equal the batch oracle's too — that is the
+	// existing serving oracle test — so recovered == uninterrupted ==
+	// batch recomputation all collapse to one comparison per seq, but we
+	// record it separately to keep the acceptance criterion honest.)
+	plain, err := New(Config{Dataset: d, Shards: shards, FlushInterval: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uninterrupted := []map[string]string{plain.Snapshot().Results}
+	for k := range d.ChangeSets {
+		if err := plain.Enqueue(d.ChangeSets[k].Changes, true); err != nil {
+			t.Fatalf("uninterrupted run: change set %d: %v", k, err)
+		}
+		uninterrupted = append(uninterrupted, plain.Snapshot().Results)
+	}
+	plain.Close()
+
+	dir := t.TempDir()
+	cfg := Config{
+		Dataset:       d,
+		Shards:        shards,
+		PersistDir:    dir,
+		Fsync:         wal.SyncAlways,
+		SnapshotEvery: 3, // small: restarts exercise snapshot + WAL-tail replay
+		FlushInterval: time.Millisecond,
+	}
+
+	rng := rand.New(rand.NewSource(int64(7 + shards)))
+	k := 0
+	restarts := 0
+	for k < n {
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatalf("restart %d (seq %d): %v", restarts, k, err)
+		}
+		waitReady(t, srv)
+		if restarts > 0 && !srv.Recovered() {
+			t.Fatal("restarted server did not recover from the durable snapshot")
+		}
+		snap := srv.Snapshot()
+		checkAgainstOracle(t, fmt.Sprintf("recovered (restart %d)", restarts), snap, k, oracleQ1, oracleQ2)
+		if snap.Changes != wantChanges[k] {
+			t.Fatalf("recovered at seq %d with %d changes, want %d", k, snap.Changes, wantChanges[k])
+		}
+
+		// Advance the workload by a random number of committed batches,
+		// checking every one against both references, then crash (except at
+		// the very end, which closes cleanly to cover that path too).
+		steps := 1 + rng.Intn(4)
+		for i := 0; i < steps && k < n; i++ {
+			if err := srv.Enqueue(d.ChangeSets[k].Changes, true); err != nil {
+				t.Fatalf("change set %d: %v", k, err)
+			}
+			k++
+			snap := srv.Snapshot()
+			checkAgainstOracle(t, "post-commit", snap, k, oracleQ1, oracleQ2)
+			for key, want := range uninterrupted[k] {
+				if snap.Results[key] != want {
+					t.Fatalf("engine %s at seq %d: %q differs from uninterrupted run's %q",
+						key, k, snap.Results[key], want)
+				}
+			}
+		}
+		if k < n {
+			srv.crash()
+		} else {
+			srv.Close()
+		}
+		restarts++
+	}
+	if restarts < 3 {
+		t.Fatalf("workload finished after only %d restarts; the test should crash several times", restarts)
+	}
+
+	// One final restart from a cleanly closed directory: the final
+	// snapshot makes replay empty, and the answers still match everything.
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	waitReady(t, srv)
+	checkAgainstOracle(t, "final restart", srv.Snapshot(), n, oracleQ1, oracleQ2)
+	for key, want := range uninterrupted[n] {
+		if got := srv.Snapshot().Results[key]; got != want {
+			t.Fatalf("final engine %s: %q differs from uninterrupted run's %q", key, got, want)
+		}
+	}
+	t.Logf("shards=%d: %d change sets across %d crash/restart cycles, all answers oracle-identical", shards, n, restarts)
+}
+
+// TestRecoveryTruncatesTornTail writes a workload, crashes, tears the last
+// WAL record, and proves recovery truncates the damage while keeping every
+// prior commit — then finishes the workload on the repaired log and still
+// matches the oracle.
+func TestRecoveryTruncatesTornTail(t *testing.T) {
+	d := datagen.Generate(datagen.Config{ScaleFactor: 1, Seed: 42})
+	oracleQ1 := oracle(t, "Q1", d)
+	oracleQ2 := oracle(t, "Q2", d)
+	n := len(d.ChangeSets)
+	if n < 5 {
+		t.Fatalf("dataset has only %d change sets", n)
+	}
+
+	dir := t.TempDir()
+	cfg := Config{
+		Dataset:       d,
+		PersistDir:    dir,
+		Fsync:         wal.SyncAlways,
+		SnapshotEvery: -1, // no periodic snapshots: recovery must replay the WAL
+		FlushInterval: time.Millisecond,
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const applied = 4
+	for k := 0; k < applied; k++ {
+		if err := srv.Enqueue(d.ChangeSets[k].Changes, true); err != nil {
+			t.Fatalf("change set %d: %v", k, err)
+		}
+	}
+	srv.crash()
+
+	// Tear the tail: chop bytes off the newest segment so the last record's
+	// frame is incomplete — the on-disk state of a crash mid-append.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments in %s: %v", dir, err)
+	}
+	last := segs[len(segs)-1]
+	st, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(last, st.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("recovery from torn tail: %v", err)
+	}
+	defer srv2.Close()
+	waitReady(t, srv2)
+	// The torn batch (seq 4) is gone; seqs 1..3 survive intact.
+	checkAgainstOracle(t, "after truncation", srv2.Snapshot(), applied-1, oracleQ1, oracleQ2)
+	srv2.mu.Lock()
+	truncated := srv2.recovery.TruncatedBytes
+	srv2.mu.Unlock()
+	if truncated == 0 {
+		t.Error("recovery reports no truncated bytes for a torn tail")
+	}
+
+	// The history continues from seq 3: re-commit the dropped change set
+	// and the rest of the stream; the final answer matches the oracle.
+	for k := applied - 1; k < n; k++ {
+		if err := srv2.Enqueue(d.ChangeSets[k].Changes, true); err != nil {
+			t.Fatalf("change set %d after repair: %v", k, err)
+		}
+		checkAgainstOracle(t, "after repair", srv2.Snapshot(), k+1, oracleQ1, oracleQ2)
+	}
+}
+
+// TestHealthzProbes pins the handler contract deterministically (the
+// replay in TestHealthzReadinessDuringReplay can finish before the first
+// probe): an unready server answers 503 "recovering" with a replay-
+// progress reason on the readiness probe but 200 "live" on liveness, and
+// flips to 200 "ready" once readiness is restored.
+func TestHealthzProbes(t *testing.T) {
+	srv, err := New(Config{Dataset: datagen.Generate(datagen.Config{ScaleFactor: 1, Seed: 3})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Force the not-ready state the handler serves during startup replay.
+	srv.ready.Store(false)
+	srv.mu.Lock()
+	srv.replayDone, srv.replayTotal = 2, 9
+	srv.mu.Unlock()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || h.Status != "recovering" {
+		t.Fatalf("readiness while unready: %d %+v, want 503 recovering", resp.StatusCode, h)
+	}
+	if !strings.Contains(h.Reason, "2/9") {
+		t.Errorf("reason %q does not carry replay progress 2/9", h.Reason)
+	}
+
+	lresp, err := http.Get(ts.URL + "/healthz?probe=live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(lresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	lresp.Body.Close()
+	if lresp.StatusCode != http.StatusOK || h.Status != "live" {
+		t.Fatalf("liveness while unready: %d %+v, want 200 live", lresp.StatusCode, h)
+	}
+
+	srv.ready.Store(true)
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || h.Status != "ready" {
+		t.Fatalf("readiness when ready: %d %+v, want 200 ready", resp2.StatusCode, h)
+	}
+}
+
+// TestHealthzReadinessDuringReplay drives /healthz through a recovery: a
+// crashed server with a WAL tail restarts, and the readiness probe must
+// answer 503 with a JSON reason until replay completes while the liveness
+// probe answers 200 throughout.
+func TestHealthzReadinessDuringReplay(t *testing.T) {
+	d := datagen.Generate(datagen.Config{ScaleFactor: 1, Seed: 13})
+	dir := t.TempDir()
+	cfg := Config{
+		Dataset:       d,
+		PersistDir:    dir,
+		Fsync:         wal.SyncAlways,
+		SnapshotEvery: -1,
+		FlushInterval: time.Millisecond,
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < len(d.ChangeSets) && k < 6; k++ {
+		if err := srv.Enqueue(d.ChangeSets[k].Changes, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.crash()
+
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	ts := httptest.NewServer(srv2.Handler())
+	defer ts.Close()
+
+	// Readiness and liveness race replay here; sample both until ready.
+	sawRecovering := false
+	for {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var h healthResponse
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatalf("healthz body: %v", err)
+		}
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusServiceUnavailable:
+			if h.Status != "recovering" {
+				t.Fatalf("503 with status %q, want recovering", h.Status)
+			}
+			if !strings.Contains(h.Reason, "replay") {
+				t.Fatalf("recovering reason %q does not mention replay", h.Reason)
+			}
+			sawRecovering = true
+		case http.StatusOK:
+			if h.Status != "ready" {
+				t.Fatalf("200 with status %q, want ready", h.Status)
+			}
+		default:
+			t.Fatalf("healthz status %d", resp.StatusCode)
+		}
+
+		lresp, err := http.Get(ts.URL + "/healthz?probe=live")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var lh healthResponse
+		if err := json.NewDecoder(lresp.Body).Decode(&lh); err != nil {
+			t.Fatal(err)
+		}
+		lresp.Body.Close()
+		if lresp.StatusCode != http.StatusOK || lh.Status != "live" {
+			t.Fatalf("liveness probe: status %d body %+v, want 200 live", lresp.StatusCode, lh)
+		}
+
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	if !sawRecovering {
+		t.Log("replay finished before the first probe; readiness 503 not observed (timing-dependent)")
+	}
+	waitReady(t, srv2)
+
+	// /stats reflects the recovery and the readiness flag.
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !stats.Ready {
+		t.Error("stats.ready is false after replay")
+	}
+	if stats.Persistence == nil {
+		t.Fatal("stats.persistence missing for a persistent server")
+	}
+	if !stats.Persistence.Recovered {
+		t.Error("stats.persistence.recovered is false after recovery")
+	}
+	if stats.Persistence.Recovery.ReplayedBatches == 0 {
+		t.Error("stats.persistence.recovery.replayedBatches is 0 after a WAL-tail recovery")
+	}
+	if stats.Persistence.WalLastSeq == 0 {
+		t.Error("stats.persistence.walLastSeq is 0")
+	}
+}
+
+// TestPersistentServerWritesQueuedDuringReplay checks commit ordering
+// across recovery: updates enqueued while replay is still running must
+// commit after every recovered batch, and the combined history stays
+// oracle-consistent.
+func TestPersistentServerWritesQueuedDuringReplay(t *testing.T) {
+	d := datagen.Generate(datagen.Config{ScaleFactor: 1, Seed: 99})
+	dir := t.TempDir()
+	cfg := Config{
+		Dataset:       d,
+		PersistDir:    dir,
+		Fsync:         wal.SyncOff,
+		SnapshotEvery: -1,
+		FlushInterval: time.Millisecond,
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pre = 5
+	for k := 0; k < pre; k++ {
+		if err := srv.Enqueue(d.ChangeSets[k].Changes, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.crash()
+
+	srv2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+	// Enqueue immediately — likely before replay finishes. wait=true must
+	// block until the request commits on top of the full recovered history.
+	if err := srv2.Enqueue(d.ChangeSets[pre].Changes, true); err != nil {
+		t.Fatalf("enqueue during replay: %v", err)
+	}
+	if !srv2.Ready() {
+		t.Error("a waited enqueue returned before replay completed")
+	}
+	snap := srv2.Snapshot()
+	if snap.Seq != pre+1 {
+		t.Fatalf("combined history seq %d, want %d", snap.Seq, pre+1)
+	}
+	oracleQ1 := oracle(t, "Q1", d)
+	if snap.Results[EngineQ1] != oracleQ1[pre+1] {
+		t.Fatalf("Q1 after queued-during-replay commit: %q, oracle %q", snap.Results[EngineQ1], oracleQ1[pre+1])
+	}
+}

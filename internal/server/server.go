@@ -30,6 +30,7 @@ import (
 	"repro/internal/grb"
 	"repro/internal/model"
 	"repro/internal/shard"
+	"repro/internal/wal"
 )
 
 // Engine keys served by the query endpoints.
@@ -65,6 +66,25 @@ type Config struct {
 	// Shards is the number of engine shards (one writer goroutine each;
 	// see internal/shard for the partitioning). Default 1.
 	Shards int
+
+	// PersistDir enables durability: committed batches are appended to a
+	// write-ahead log under this directory before their waiters are
+	// released, and the model state is snapshotted periodically, so a
+	// restarted server recovers its committed state from disk instead of
+	// replaying the dataset (see internal/wal). When the directory holds a
+	// valid snapshot it takes precedence over Dataset/DataDir/generation.
+	// Empty disables persistence.
+	PersistDir string
+	// Fsync is the WAL append fsync policy (wal.SyncAlways is the zero
+	// value and the default: an acknowledged batch is crash-durable).
+	Fsync wal.SyncPolicy
+	// FsyncInterval is the flush period under wal.SyncInterval.
+	// Default 100ms.
+	FsyncInterval time.Duration
+	// SnapshotEvery writes a durable snapshot every N committed batches
+	// (bounding recovery replay to N batches). Default 256; negative
+	// disables periodic snapshots (Close still writes a final one).
+	SnapshotEvery int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +108,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shards == 0 {
 		c.Shards = 1
+	}
+	if c.SnapshotEvery == 0 {
+		c.SnapshotEvery = 256
 	}
 	return c
 }
@@ -113,6 +136,9 @@ func (c Config) Validate() error {
 	if c.Shards < 0 {
 		return fmt.Errorf("shards must be >= 1 (got %d)", c.Shards)
 	}
+	if c.FsyncInterval < 0 {
+		return fmt.Errorf("fsync interval must be positive (got %v)", c.FsyncInterval)
+	}
 	return nil
 }
 
@@ -126,6 +152,16 @@ type phaseStats struct {
 	UpdateCount int
 	UpdateTotal time.Duration
 	UpdateLast  time.Duration
+}
+
+// recoveryStats records what startup recovery did: where the snapshot was,
+// how much WAL tail was replayed, and whether a torn tail was truncated.
+type recoveryStats struct {
+	SnapshotSeq     int
+	ReplayedBatches int
+	ReplayedChanges int
+	TruncatedBytes  int64
+	Duration        time.Duration
 }
 
 // Server is the serving subsystem. Create with New, serve via Handler,
@@ -143,6 +179,21 @@ type Server struct {
 
 	updates    chan updateReq
 	writerDone chan struct{}
+
+	// wal is the durability subsystem (nil when Config.PersistDir is
+	// empty): every committed batch is appended to it before the commit's
+	// waiters are released, and curr — the writer-owned materialized model
+	// state — is periodically snapshotted through it.
+	wal  *wal.Log
+	curr *model.Snapshot
+	// recovered reports that startup state came from a durable snapshot
+	// rather than the dataset.
+	recovered bool
+	// ready flips to true once startup WAL replay (if any) has committed;
+	// /healthz serves 503 until then.
+	ready    atomic.Bool
+	durOnce  sync.Once // final snapshot + WAL close (Close and crash paths)
+	lastSnap int       // seq of the last durable snapshot this process wrote
 
 	mu      sync.Mutex // guards closing, broken, phases
 	closing bool
@@ -163,32 +214,77 @@ type Server struct {
 	// connected-components extension disagreed — continuous cross-
 	// validation in the spirit of ttcvalidate; anything nonzero is a bug.
 	q2Disagreements int
+	// recovery, replayDone/replayTotal, lastSnapDur and snapErrs are the
+	// durability bookkeeping /stats and /healthz report (guarded by mu).
+	recovery    recoveryStats
+	replayDone  int
+	replayTotal int
+	lastSnapDur time.Duration
+	snapErrs    int
 }
 
-// New loads (or generates) the dataset, warms every engine through its Load
-// and Initial phases, publishes the seq-0 snapshot, and starts the writer.
+// New builds the serving state, warms every engine through its Load and
+// Initial phases, publishes the base snapshot, and starts the writer.
+//
+// Without persistence the base state is the configured dataset (loaded or
+// generated). With Config.PersistDir the durability directory decides: a
+// valid durable snapshot there becomes the base state (the dataset is not
+// touched — that is the point), and any WAL batches committed after it are
+// replayed through the engines in the background before the server reports
+// ready; a fresh directory starts from the dataset and seeds it with the
+// seq-0 snapshot.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 
-	d := cfg.Dataset
-	var err error
-	if d == nil {
-		if cfg.DataDir != "" {
-			d, err = model.ReadDataset(cfg.DataDir)
-			if err != nil {
-				return nil, fmt.Errorf("server: load dataset: %w", err)
+	var (
+		wlog *wal.Log
+		rec  wal.RecoveryInfo
+		err  error
+	)
+	if cfg.PersistDir != "" {
+		wlog, rec, err = wal.Open(wal.Options{
+			Dir:          cfg.PersistDir,
+			Sync:         cfg.Fsync,
+			SyncInterval: cfg.FsyncInterval,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: open wal: %w", err)
+		}
+	}
+
+	// Until the Server owns it, every error path must release the log
+	// (its active-segment fd and, under SyncInterval, the flush goroutine).
+	closeWAL := func() {
+		if wlog != nil {
+			wlog.Close()
+		}
+	}
+
+	var d *model.Dataset
+	if rec.HasSnapshot {
+		d = &model.Dataset{Snapshot: rec.Snapshot}
+	} else {
+		d = cfg.Dataset
+		if d == nil {
+			if cfg.DataDir != "" {
+				d, err = model.ReadDataset(cfg.DataDir)
+				if err != nil {
+					closeWAL()
+					return nil, fmt.Errorf("server: load dataset: %w", err)
+				}
+			} else {
+				d = datagen.Generate(datagen.Config{ScaleFactor: cfg.ScaleFactor, Seed: cfg.Seed})
 			}
-		} else {
-			d = datagen.Generate(datagen.Config{ScaleFactor: cfg.ScaleFactor, Seed: cfg.Seed})
 		}
 	}
 
 	grb.SetThreads(cfg.Threads)
 	rt, err := shard.New(cfg.Shards, d.Snapshot)
 	if err != nil {
+		closeWAL()
 		return nil, fmt.Errorf("server: %w", err)
 	}
 	s := &Server{
@@ -197,12 +293,51 @@ func New(cfg Config) (*Server, error) {
 		rt:         rt,
 		updates:    make(chan updateReq, cfg.QueueDepth),
 		writerDone: make(chan struct{}),
+		wal:        wlog,
+		recovered:  rec.HasSnapshot,
 	}
 	s.phases.Load = rt.LoadDuration()
 	s.phases.Initial = rt.InitialDuration()
 
-	s.snap.Store(&Snapshot{Results: rt.Results(), Engines: rt.EngineTotals(), At: time.Now()})
-	go s.writer(newRefState(d.Snapshot))
+	baseSeq, baseChanges := 0, 0
+	if s.wal != nil {
+		s.curr = d.Snapshot.Clone()
+		s.lastSnap = -1
+		if rec.HasSnapshot {
+			baseSeq = int(rec.SnapshotSeq)
+			baseChanges = int(rec.SnapshotMeta)
+			s.lastSnap = baseSeq
+		}
+		s.recovery = recoveryStats{
+			SnapshotSeq:    baseSeq,
+			TruncatedBytes: rec.TruncatedBytes,
+		}
+		s.replayTotal = len(rec.Batches)
+	}
+
+	s.snap.Store(&Snapshot{
+		Seq:     baseSeq,
+		Changes: baseChanges,
+		Results: rt.Results(),
+		Engines: rt.EngineTotals(),
+		At:      time.Now(),
+	})
+
+	if s.wal != nil && !rec.HasSnapshot {
+		// Seed a fresh durability directory with the base state so recovery
+		// never needs the dataset again.
+		if err := s.wal.WriteSnapshot(uint64(baseSeq), uint64(baseChanges), d.Snapshot); err != nil {
+			s.rt.Close()
+			s.wal.Close()
+			return nil, fmt.Errorf("server: seed snapshot: %w", err)
+		}
+		s.lastSnap = baseSeq
+	}
+
+	// Readiness: immediate unless there is a WAL tail to replay, in which
+	// case the writer flips it after the replay commits.
+	s.ready.Store(len(rec.Batches) == 0)
+	go s.writer(newRefState(d.Snapshot), rec.Batches)
 	return s, nil
 }
 
@@ -278,6 +413,7 @@ func (s *Server) Close() {
 		s.mu.Unlock()
 		<-s.writerDone
 		s.rt.Close()
+		s.closeDurable(true)
 		return
 	}
 	s.closing = true
@@ -289,7 +425,58 @@ func (s *Server) Close() {
 	close(s.updates)
 	<-s.writerDone
 	s.rt.Close()
+	s.closeDurable(true)
 }
+
+// closeDurable finishes the durability subsystem exactly once: a graceful
+// close writes a final snapshot (so the next start replays nothing) and
+// fsyncs the WAL; an abrupt one just drops the file handles. The final
+// snapshot is skipped when the engines are broken — the materialized state
+// may then be ahead of the published seq, and the WAL alone is the truth.
+func (s *Server) closeDurable(graceful bool) {
+	if s.wal == nil {
+		return
+	}
+	s.durOnce.Do(func() {
+		if graceful {
+			if s.brokenErr() == nil && s.ready.Load() {
+				s.snapshotDurable(s.snap.Load().Seq)
+			}
+			_ = s.wal.Close()
+		} else {
+			s.wal.Abandon()
+		}
+	})
+}
+
+// crash simulates an abrupt process death, for recovery tests: the writer
+// and shard runtime stop, but no final snapshot is written and the WAL is
+// abandoned without a flush — the durability directory is left exactly as
+// a kill -9 would leave it. (Batches already queued still drain through
+// the writer, which only makes the pre-crash workload longer.)
+func (s *Server) crash() {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
+		return
+	}
+	s.closing = true
+	s.mu.Unlock()
+	s.producers.Wait()
+	close(s.updates)
+	<-s.writerDone
+	s.rt.Close()
+	s.closeDurable(false)
+}
+
+// Ready reports whether startup WAL replay (if any) has completed and the
+// served snapshots reflect every recovered commit. /healthz maps false to
+// 503.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+// Recovered reports whether the base state came from a durable snapshot in
+// Config.PersistDir rather than from the dataset.
+func (s *Server) Recovered() bool { return s.recovered }
 
 // Handler returns the HTTP API (see handlers.go for routes).
 func (s *Server) Handler() http.Handler { return s.routes() }

@@ -1,0 +1,85 @@
+package wal
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+)
+
+// Persistence hot paths, exercised once per PR by the bench CI job (and
+// with a real -benchtime locally): WAL appends under each fsync policy —
+// the commit path's added latency — and snapshot encode/decode — the
+// snapshot cadence and recovery costs.
+
+func BenchmarkAppend(b *testing.B) {
+	for _, p := range []SyncPolicy{SyncAlways, SyncInterval, SyncOff} {
+		b.Run(p.String(), func(b *testing.B) {
+			l, _, err := Open(Options{Dir: b.TempDir(), Sync: p, SyncInterval: 10 * time.Millisecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			changes := testChanges(1)
+			var bytes int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := l.Append(uint64(i+1), changes); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			bytes = l.Metrics().AppendedBytes
+			b.SetBytes(bytes / int64(b.N))
+		})
+	}
+}
+
+func BenchmarkSnapshotEncode(b *testing.B) {
+	for _, sf := range []int{1, 4} {
+		b.Run(fmt.Sprintf("sf=%d", sf), func(b *testing.B) {
+			d := datagen.Generate(datagen.Config{ScaleFactor: sf, Seed: 2018})
+			b.ResetTimer()
+			var n int
+			for i := 0; i < b.N; i++ {
+				n = len(encodeSnapshot(uint64(i), 0, d.Snapshot))
+			}
+			b.SetBytes(int64(n))
+		})
+	}
+}
+
+func BenchmarkSnapshotDecode(b *testing.B) {
+	for _, sf := range []int{1, 4} {
+		b.Run(fmt.Sprintf("sf=%d", sf), func(b *testing.B) {
+			d := datagen.Generate(datagen.Config{ScaleFactor: sf, Seed: 2018})
+			data := encodeSnapshot(1, 0, d.Snapshot)
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, _, err := decodeSnapshot(data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSnapshotWrite measures the full durable snapshot path (encode +
+// temp file + fsync + rename + dir sync) — what the serving writer pays
+// every SnapshotEvery commits.
+func BenchmarkSnapshotWrite(b *testing.B) {
+	d := datagen.Generate(datagen.Config{ScaleFactor: 1, Seed: 2018})
+	l, _, err := Open(Options{Dir: b.TempDir(), Sync: SyncOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := l.WriteSnapshot(uint64(i+1), 0, d.Snapshot); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"repro/internal/model"
+)
+
+// Snapshot file format:
+//
+//	8-byte magic | body | u32 CRC-32C of body
+//
+// where the body is the snapshot's commit sequence number followed by the
+// five entity arrays, each as a u64 count and fixed-width little-endian
+// int64 fields (see record.go for the per-entity field lists). Snapshots
+// are written to a temp file, fsynced, and renamed into place, so a
+// visible snap-*.snap is always complete; the CRC guards against latent
+// media corruption, and the loader falls back to the previous snapshot if
+// the newest fails it.
+
+const snapshotMagic = "TTCSNAP1"
+
+// encodeSnapshot serializes the model state as of sequence number seq.
+// meta is an opaque caller value stored alongside it (the server persists
+// its committed-changes counter there).
+func encodeSnapshot(seq, meta uint64, s *model.Snapshot) []byte {
+	size := len(snapshotMagic) + 2*8 + 5*8 +
+		len(s.Posts)*16 + len(s.Comments)*32 + len(s.Users)*8 +
+		len(s.Friendships)*16 + len(s.Likes)*16 + 4
+	b := make([]byte, 0, size)
+	b = append(b, snapshotMagic...)
+	b = appendUint64(b, seq)
+	b = appendUint64(b, meta)
+	b = appendUint64(b, uint64(len(s.Posts)))
+	for _, p := range s.Posts {
+		b = appendID(b, p.ID)
+		b = appendUint64(b, uint64(p.Timestamp))
+	}
+	b = appendUint64(b, uint64(len(s.Comments)))
+	for _, c := range s.Comments {
+		b = appendID(b, c.ID)
+		b = appendUint64(b, uint64(c.Timestamp))
+		b = appendID(b, c.ParentID)
+		b = appendID(b, c.PostID)
+	}
+	b = appendUint64(b, uint64(len(s.Users)))
+	for _, u := range s.Users {
+		b = appendID(b, u.ID)
+	}
+	b = appendUint64(b, uint64(len(s.Friendships)))
+	for _, f := range s.Friendships {
+		b = appendID(b, f.User1)
+		b = appendID(b, f.User2)
+	}
+	b = appendUint64(b, uint64(len(s.Likes)))
+	for _, l := range s.Likes {
+		b = appendID(b, l.UserID)
+		b = appendID(b, l.CommentID)
+	}
+	return binary.LittleEndian.AppendUint32(b, crc32.Checksum(b[len(snapshotMagic):], castagnoli))
+}
+
+// decodeSnapshot parses an encoded snapshot. Like decodePayload it is
+// total: arbitrary bytes decode or error, never panic.
+func decodeSnapshot(data []byte) (seq, meta uint64, _ *model.Snapshot, _ error) {
+	fail := func(err error) (uint64, uint64, *model.Snapshot, error) { return 0, 0, nil, err }
+	if len(data) < len(snapshotMagic)+2*8+4 {
+		return fail(fmt.Errorf("wal: snapshot too short (%d bytes)", len(data)))
+	}
+	if string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return fail(fmt.Errorf("wal: bad snapshot magic %q", data[:len(snapshotMagic)]))
+	}
+	body := data[len(snapshotMagic) : len(data)-4]
+	wantCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != wantCRC {
+		return fail(fmt.Errorf("wal: snapshot checksum mismatch"))
+	}
+
+	r := &byteReader{b: body}
+	seq, err := r.u64()
+	if err != nil {
+		return fail(err)
+	}
+	meta, err = r.u64()
+	if err != nil {
+		return fail(err)
+	}
+	s := &model.Snapshot{}
+
+	// count validates an array length against the bytes actually present;
+	// zero counts leave the slice nil so a decoded snapshot is DeepEqual to
+	// the encoded one.
+	count := func(entrySize int) (int, error) {
+		n, err := r.u64()
+		if err != nil {
+			return 0, err
+		}
+		if n > uint64(r.remaining()/entrySize) {
+			return 0, fmt.Errorf("wal: snapshot count %d exceeds remaining bytes", n)
+		}
+		return int(n), nil
+	}
+
+	n, err := count(16)
+	if err != nil {
+		return fail(err)
+	}
+	if n > 0 {
+		s.Posts = make([]model.Post, n)
+	}
+	for i := range s.Posts {
+		s.Posts[i].ID, _ = r.id()
+		ts, err := r.u64()
+		if err != nil {
+			return fail(err)
+		}
+		s.Posts[i].Timestamp = int64(ts)
+	}
+
+	if n, err = count(32); err != nil {
+		return fail(err)
+	}
+	if n > 0 {
+		s.Comments = make([]model.Comment, n)
+	}
+	for i := range s.Comments {
+		s.Comments[i].ID, _ = r.id()
+		ts, err := r.u64()
+		if err != nil {
+			return fail(err)
+		}
+		s.Comments[i].Timestamp = int64(ts)
+		s.Comments[i].ParentID, _ = r.id()
+		if s.Comments[i].PostID, err = r.id(); err != nil {
+			return fail(err)
+		}
+	}
+
+	if n, err = count(8); err != nil {
+		return fail(err)
+	}
+	if n > 0 {
+		s.Users = make([]model.User, n)
+	}
+	for i := range s.Users {
+		if s.Users[i].ID, err = r.id(); err != nil {
+			return fail(err)
+		}
+	}
+
+	if n, err = count(16); err != nil {
+		return fail(err)
+	}
+	if n > 0 {
+		s.Friendships = make([]model.Friendship, n)
+	}
+	for i := range s.Friendships {
+		s.Friendships[i].User1, _ = r.id()
+		if s.Friendships[i].User2, err = r.id(); err != nil {
+			return fail(err)
+		}
+	}
+
+	if n, err = count(16); err != nil {
+		return fail(err)
+	}
+	if n > 0 {
+		s.Likes = make([]model.Like, n)
+	}
+	for i := range s.Likes {
+		s.Likes[i].UserID, _ = r.id()
+		if s.Likes[i].CommentID, err = r.id(); err != nil {
+			return fail(err)
+		}
+	}
+
+	if r.remaining() != 0 {
+		return fail(fmt.Errorf("wal: %d trailing bytes after snapshot body", r.remaining()))
+	}
+	return seq, meta, s, nil
+}
+
+// loadLatestSnapshot finds the newest snapshot file that decodes cleanly
+// (falling back over invalid ones). ok is false when no valid snapshot
+// exists; err reports only filesystem-level failures.
+func loadLatestSnapshot(dir string) (s *model.Snapshot, seq, meta uint64, ok bool, err error) {
+	names, err := listSeqFiles(dir, "snap-", ".snap")
+	if err != nil {
+		return nil, 0, 0, false, err
+	}
+	for i := len(names) - 1; i >= 0; i-- {
+		data, err := os.ReadFile(filepath.Join(dir, names[i]))
+		if err != nil {
+			continue
+		}
+		seq, meta, s, err := decodeSnapshot(data)
+		if err != nil {
+			continue // fall back to the previous snapshot
+		}
+		return s, seq, meta, true, nil
+	}
+	return nil, 0, 0, false, nil
+}
