@@ -36,6 +36,12 @@ type Q2IncrementalCC struct {
 
 	cc   []commentComponents
 	prev Result
+
+	// retiredComments/retiredUsers mark entities subtracted by Retract (the
+	// id maps are append-only, so they keep their dense index); a re-add
+	// revives them.
+	retiredComments map[int]struct{}
+	retiredUsers    map[int]struct{}
 }
 
 // commentComponents is the per-comment incremental component state.
@@ -231,14 +237,66 @@ func (s *Q2IncrementalCC) unionScored(cc *commentComponents, x, y int) {
 	cc.score += (s1+s2)*(s1+s2) - s1*s1 - s2*s2
 }
 
+// rankAll ranks every live comment from the maintained scores; retired
+// comments (retracted to another partition) are excluded.
+func (s *Q2IncrementalCC) rankAll() Result {
+	t := NewTopK(TopK)
+	for ci := range s.cc {
+		if _, gone := s.retiredComments[ci]; gone {
+			continue
+		}
+		t.Consider(Entry{ID: s.comments.IDOf(ci), Score: s.cc[ci].score, Timestamp: s.commentTS[ci]})
+	}
+	return t.Result()
+}
+
 // Initial implements Solution: scores are already maintained, so the first
 // evaluation is just a ranking pass.
 func (s *Q2IncrementalCC) Initial() (Result, error) {
-	t := NewTopK(TopK)
-	for ci := range s.cc {
-		t.Consider(Entry{ID: s.comments.IDOf(ci), Score: s.cc[ci].score, Timestamp: s.commentTS[ci]})
+	s.prev = s.rankAll()
+	return s.prev, nil
+}
+
+// Retract implements DeltaEngine: retracted users lose their adjacency and
+// like lists wholesale, retracted comments drop their component state, and
+// both retire from the ranking. Self-containment (see core.DeltaEngine)
+// guarantees no surviving user or comment references the retracted set, so
+// no surviving score changes and the previous answer stays valid unless it
+// ranked a now-retired comment.
+func (s *Q2IncrementalCC) Retract(r *model.Retraction) (Result, error) {
+	if s.retiredUsers == nil {
+		s.retiredUsers = make(map[int]struct{})
 	}
-	s.prev = t.Result()
+	if s.retiredComments == nil {
+		s.retiredComments = make(map[int]struct{})
+	}
+	for _, id := range r.Users {
+		ui, ok := s.users.Index(id)
+		if !ok {
+			return nil, fmt.Errorf("core: retraction references unknown user %d", id)
+		}
+		s.friends[ui] = nil
+		s.userLikes[ui] = nil
+		s.retiredUsers[ui] = struct{}{}
+	}
+	for _, id := range r.Comments {
+		ci, ok := s.comments.Index(id)
+		if !ok {
+			return nil, fmt.Errorf("core: retraction references unknown comment %d", id)
+		}
+		s.cc[ci] = newCommentComponents()
+		s.retiredComments[ci] = struct{}{}
+	}
+	rerank := s.prev == nil
+	for _, e := range s.prev {
+		if _, gone := s.retiredComments[s.comments.MustIndex(e.ID)]; gone {
+			rerank = true
+			break
+		}
+	}
+	if rerank {
+		s.prev = s.rankAll()
+	}
 	return s.prev, nil
 }
 
@@ -284,12 +342,14 @@ func (s *Q2IncrementalCC) Update(cs *model.ChangeSet) (Result, error) {
 				s.friends = append(s.friends, nil)
 				s.userLikes = append(s.userLikes, nil)
 			}
+			delete(s.retiredUsers, idx) // a re-add revives a retracted user
 		case model.KindAddComment:
 			idx := s.comments.Add(ch.Comment.ID)
 			if idx == len(s.cc) {
 				s.cc = append(s.cc, newCommentComponents())
 				s.commentTS = append(s.commentTS, ch.Comment.Timestamp)
 			}
+			delete(s.retiredComments, idx) // a re-add revives a retracted comment
 			touched[idx] = struct{}{}
 		case model.KindAddLike:
 			ci, ok := s.comments.Index(ch.Like.CommentID)
@@ -333,11 +393,7 @@ func (s *Q2IncrementalCC) Update(cs *model.ChangeSet) (Result, error) {
 	}
 	if cs.HasRemovals() {
 		// Non-monotone scores: re-rank everything from maintained state.
-		t := NewTopK(TopK)
-		for ci := range s.cc {
-			t.Consider(Entry{ID: s.comments.IDOf(ci), Score: s.cc[ci].score, Timestamp: s.commentTS[ci]})
-		}
-		s.prev = t.Result()
+		s.prev = s.rankAll()
 		return s.prev, nil
 	}
 	t := NewTopK(TopK)

@@ -53,14 +53,17 @@ type StatsReporter interface {
 }
 
 // engineStats sizes the matrix state shared by the GraphBLAS engines.
+// Retired entities (retracted to another partition; see graph.retract) are
+// excluded, so a donor repaired incrementally reports the same live counts
+// a reloaded donor would.
 func (g *graph) engineStats() EngineStats {
 	if g == nil {
 		return EngineStats{}
 	}
 	return EngineStats{
 		Posts:    g.posts.Len(),
-		Comments: g.comments.Len(),
-		Users:    g.users.Len(),
+		Comments: g.comments.Len() - len(g.retiredComments),
+		Users:    g.users.Len() - len(g.retiredUsers),
 		NNZ: g.rootPost.NVals() + g.rootPostT.NVals() +
 			g.likes.NVals() + g.likesT.NVals() + g.friends.NVals(),
 		Pending: g.rootPost.NPending() + g.rootPostT.NPending() +
@@ -82,17 +85,18 @@ func (s *Q2Incremental) Stats() EngineStats { return s.g.engineStats() }
 
 // Stats implements StatsReporter. The CC engine maintains adjacency lists
 // and per-comment DSU forests instead of matrices; NNZ counts the directed
-// friend edges and the user→comment like edges it stores.
+// friend edges and the user→comment like edges it stores. Retired entities
+// are excluded, matching a reloaded donor's live counts.
 func (s *Q2IncrementalCC) Stats() EngineStats {
 	st := EngineStats{}
 	if s.posts != nil {
 		st.Posts = s.posts.Len()
 	}
 	if s.comments != nil {
-		st.Comments = s.comments.Len()
+		st.Comments = s.comments.Len() - len(s.retiredComments)
 	}
 	if s.users != nil {
-		st.Users = s.users.Len()
+		st.Users = s.users.Len() - len(s.retiredUsers)
 	}
 	for _, fs := range s.friends {
 		st.NNZ += len(fs)

@@ -155,8 +155,23 @@ type ChangeSet struct {
 	Changes []Change
 }
 
-// Size reports the number of inserted elements.
+// Size reports the number of changes in the set — insertions and removals
+// alike (see InsertCount and RemovalCount for the split).
 func (cs *ChangeSet) Size() int { return len(cs.Changes) }
+
+// InsertCount reports the number of insertions in the set.
+func (cs *ChangeSet) InsertCount() int { return len(cs.Changes) - cs.RemovalCount() }
+
+// RemovalCount reports the number of removals in the set.
+func (cs *ChangeSet) RemovalCount() int {
+	n := 0
+	for i := range cs.Changes {
+		if cs.Changes[i].Kind.IsRemoval() {
+			n++
+		}
+	}
+	return n
+}
 
 // Dataset bundles an initial snapshot with its update sequence.
 type Dataset struct {
@@ -165,19 +180,81 @@ type Dataset struct {
 }
 
 // TotalInserts reports the number of inserted elements across all change
-// sets (the "#inserts" column of Table II).
+// sets (the "#inserts" column of Table II); removals do not count.
 func (d *Dataset) TotalInserts() int {
 	total := 0
 	for i := range d.ChangeSets {
-		total += d.ChangeSets[i].Size()
+		total += d.ChangeSets[i].InsertCount()
 	}
 	return total
 }
 
-// Apply appends a change set's entities to the snapshot in place. It is the
-// reference semantics of an update step; engines maintain their own
-// incremental state but tests validate against an applied snapshot.
+// Apply applies a change set to the snapshot in place: insertions append,
+// removals delete their edge. It is the reference semantics of an update
+// step; engines maintain their own incremental state but tests validate
+// against an applied snapshot, and the WAL writer replays every committed
+// batch through it.
+//
+// Removals resolve through a keyed index over the edge slices (built only
+// when the set contains removals), so Apply is linear in snapshot+changes
+// even on removal-heavy replays — the naive per-removal slice scan is
+// quadratic exactly on the histories the WAL replays longest.
 func (s *Snapshot) Apply(cs *ChangeSet) {
+	if !cs.HasRemovals() {
+		for _, ch := range cs.Changes {
+			switch ch.Kind {
+			case KindAddPost:
+				s.Posts = append(s.Posts, ch.Post)
+			case KindAddComment:
+				s.Comments = append(s.Comments, ch.Comment)
+			case KindAddUser:
+				s.Users = append(s.Users, ch.User)
+			case KindAddFriendship:
+				s.Friendships = append(s.Friendships, ch.Friendship)
+			case KindAddLike:
+				s.Likes = append(s.Likes, ch.Like)
+			}
+		}
+		return
+	}
+
+	// Index edge instances by canonical key — but only for the keys this
+	// set actually removes, so the maps stay O(|changes|) even when the
+	// snapshot holds millions of edges (the slice scans below are already
+	// paid by the final compaction pass). Values are slice positions (a
+	// stack per key, so duplicate instances remove LIFO); removal marks the
+	// position dead and a final pass compacts each touched slice once.
+	fkey := func(f Friendship) ChangeKey {
+		ch := Change{Kind: KindAddFriendship, Friendship: f}
+		return ch.Key()
+	}
+	lkey := func(l Like) ChangeKey {
+		ch := Change{Kind: KindAddLike, Like: l}
+		return ch.Key()
+	}
+	friendIdx := make(map[ChangeKey][]int)
+	likeIdx := make(map[ChangeKey][]int)
+	for _, ch := range cs.Changes {
+		switch ch.Kind {
+		case KindRemoveFriendship:
+			friendIdx[fkey(ch.Friendship)] = nil
+		case KindRemoveLike:
+			likeIdx[lkey(ch.Like)] = nil
+		}
+	}
+	for i, f := range s.Friendships {
+		if stack, tracked := friendIdx[fkey(f)]; tracked {
+			friendIdx[fkey(f)] = append(stack, i)
+		}
+	}
+	for i, l := range s.Likes {
+		if stack, tracked := likeIdx[lkey(l)]; tracked {
+			likeIdx[lkey(l)] = append(stack, i)
+		}
+	}
+	deadFriends := make(map[int]struct{})
+	deadLikes := make(map[int]struct{})
+
 	for _, ch := range cs.Changes {
 		switch ch.Kind {
 		case KindAddPost:
@@ -187,25 +264,48 @@ func (s *Snapshot) Apply(cs *ChangeSet) {
 		case KindAddUser:
 			s.Users = append(s.Users, ch.User)
 		case KindAddFriendship:
+			// Index the new instance only when some removal in this set
+			// targets its key (untracked keys cannot be removed here).
+			if stack, tracked := friendIdx[fkey(ch.Friendship)]; tracked {
+				friendIdx[fkey(ch.Friendship)] = append(stack, len(s.Friendships))
+			}
 			s.Friendships = append(s.Friendships, ch.Friendship)
 		case KindAddLike:
+			if stack, tracked := likeIdx[lkey(ch.Like)]; tracked {
+				likeIdx[lkey(ch.Like)] = append(stack, len(s.Likes))
+			}
 			s.Likes = append(s.Likes, ch.Like)
 		case KindRemoveFriendship:
-			for i := range s.Friendships {
-				f := s.Friendships[i]
-				if (f.User1 == ch.Friendship.User1 && f.User2 == ch.Friendship.User2) ||
-					(f.User1 == ch.Friendship.User2 && f.User2 == ch.Friendship.User1) {
-					s.Friendships = append(s.Friendships[:i], s.Friendships[i+1:]...)
-					break
-				}
+			k := fkey(ch.Friendship)
+			if stack := friendIdx[k]; len(stack) > 0 {
+				deadFriends[stack[len(stack)-1]] = struct{}{}
+				friendIdx[k] = stack[:len(stack)-1]
 			}
 		case KindRemoveLike:
-			for i := range s.Likes {
-				if s.Likes[i] == ch.Like {
-					s.Likes = append(s.Likes[:i], s.Likes[i+1:]...)
-					break
-				}
+			k := lkey(ch.Like)
+			if stack := likeIdx[k]; len(stack) > 0 {
+				deadLikes[stack[len(stack)-1]] = struct{}{}
+				likeIdx[k] = stack[:len(stack)-1]
 			}
 		}
+	}
+
+	if len(deadFriends) > 0 {
+		kept := s.Friendships[:0]
+		for i, f := range s.Friendships {
+			if _, dead := deadFriends[i]; !dead {
+				kept = append(kept, f)
+			}
+		}
+		s.Friendships = kept
+	}
+	if len(deadLikes) > 0 {
+		kept := s.Likes[:0]
+		for i, l := range s.Likes {
+			if _, dead := deadLikes[i]; !dead {
+				kept = append(kept, l)
+			}
+		}
+		s.Likes = kept
 	}
 }

@@ -103,6 +103,11 @@ func (s *Server) commit(ref *refState, batch []updateReq) {
 		}
 	}
 
+	// Canonicalize the merged batch (friendship endpoints ordered) so the
+	// WAL stores — and every engine sees — the change-key-normalized form;
+	// cs.Changes is the writer's own copy, never a caller's slice.
+	cs.Normalize()
+
 	seq := s.snap.Load().Seq + 1
 	if s.wal != nil {
 		// Write-ahead: the batch must be durable before any engine applies
@@ -129,11 +134,13 @@ func (s *Server) commit(ref *refState, batch []updateReq) {
 
 	prev := s.snap.Load()
 	s.snap.Store(&Snapshot{
-		Seq:     seq,
-		Changes: prev.Changes + len(cs.Changes),
-		Results: results,
-		Engines: s.rt.EngineTotals(),
-		At:      time.Now(),
+		Seq:      seq,
+		Changes:  prev.Changes + len(cs.Changes),
+		Inserts:  prev.Inserts + cs.InsertCount(),
+		Removals: prev.Removals + cs.RemovalCount(),
+		Results:  results,
+		Engines:  s.rt.EngineTotals(),
+		At:       time.Now(),
 	})
 
 	s.mu.Lock()
@@ -153,6 +160,19 @@ func (s *Server) commit(ref *refState, batch []updateReq) {
 	// answered so snapshot encoding never sits on a commit ack.
 	if s.wal != nil && s.cfg.SnapshotEvery > 0 && seq%s.cfg.SnapshotEvery == 0 {
 		s.snapshotDurable(seq)
+	}
+	// Compaction cadence: supersede add+remove churn in the sealed WAL
+	// segments. Like snapshots it runs after the acks, and a failure only
+	// means the history replays longer.
+	if s.wal != nil && s.cfg.CompactEvery > 0 && seq%s.cfg.CompactEvery == 0 {
+		rep, err := s.wal.Compact()
+		s.mu.Lock()
+		if err != nil {
+			s.compactErrs++
+		} else {
+			s.lastCompaction = &rep
+		}
+		s.mu.Unlock()
 	}
 }
 
@@ -183,11 +203,13 @@ func (s *Server) replayWAL(ref *refState, batches []wal.Batch) bool {
 		}
 		prev := s.snap.Load()
 		s.snap.Store(&Snapshot{
-			Seq:     int(b.Seq),
-			Changes: prev.Changes + len(b.Changes),
-			Results: results,
-			Engines: s.rt.EngineTotals(),
-			At:      time.Now(),
+			Seq:      int(b.Seq),
+			Changes:  prev.Changes + len(b.Changes),
+			Inserts:  prev.Inserts + cs.InsertCount(),
+			Removals: prev.Removals + cs.RemovalCount(),
+			Results:  results,
+			Engines:  s.rt.EngineTotals(),
+			At:       time.Now(),
 		})
 	}
 	last := int(batches[len(batches)-1].Seq)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/grb"
 	"repro/internal/model"
+	"repro/internal/wal"
 )
 
 // The HTTP API:
@@ -270,8 +271,12 @@ type statsResponse struct {
 		Mean  durationMS `json:"meanMs"`
 	} `json:"updates"`
 
-	Seq             int                         `json:"seq"`
-	Changes         int                         `json:"changes"`
+	Seq     int `json:"seq"`
+	Changes int `json:"changes"`
+	// Inserts/Removals split the changes committed by this process
+	// (model.ChangeSet.InsertCount/RemovalCount).
+	Inserts         int                         `json:"inserts"`
+	Removals        int                         `json:"removals"`
 	QueueDepth      int                         `json:"queueDepth"`
 	Threads         int                         `json:"threads"`
 	Engines         map[string]core.EngineStats `json:"engines"`
@@ -279,11 +284,16 @@ type statsResponse struct {
 	Broken          string                      `json:"broken,omitempty"`
 
 	// Shards reports each engine shard's queue depth and apply latencies;
-	// Rebalances counts Q2 group migrations between shards, and
-	// ParkedComments the likeless comments the router holds outside every
-	// Q2 partition (engine comment totals + parked = all comments).
+	// Rebalances counts Q2 group migrations between shards — split into
+	// DonorRepairs (the donor subtracted the migrated group incrementally
+	// via core.DeltaEngine) and DonorReloads (full engine rebuilds, the
+	// fallback for engines without the capability) — and ParkedComments the
+	// likeless comments the router holds outside every Q2 partition (engine
+	// comment totals + parked = all comments).
 	Shards         []shardStatsJSON `json:"shards"`
 	Rebalances     int              `json:"rebalances"`
+	DonorRepairs   int              `json:"donorRepairs"`
+	DonorReloads   int              `json:"donorReloads"`
 	ParkedComments int              `json:"parkedComments"`
 
 	// Ready mirrors /healthz readiness; Persistence reports the durability
@@ -313,6 +323,16 @@ type persistStatsJSON struct {
 	SnapshotErrors  int        `json:"snapshotErrors"`
 	TrimmedSegments int64      `json:"trimmedSegments"`
 
+	// Change-key compaction of sealed WAL segments (ttcserve
+	// -compact-every; see internal/wal).
+	Compactions      int64 `json:"compactions"`
+	CompactedSegs    int64 `json:"compactedSegments"`
+	CompactedBytes   int64 `json:"compactedBytes"`
+	CompactionErrors int   `json:"compactionErrors"`
+	// LastCompaction summarizes the most recent pass: how much of the
+	// scanned history (split by inserts vs removals) survived supersession.
+	LastCompaction *wal.CompactionReport `json:"lastCompaction,omitempty"`
+
 	Recovered bool `json:"recovered"`
 	Recovery  struct {
 		SnapshotSeq     int        `json:"snapshotSeq"`
@@ -325,12 +345,18 @@ type persistStatsJSON struct {
 
 // shardStatsJSON is the wire form of one shard's shard.Stats.
 type shardStatsJSON struct {
-	Shard   int        `json:"shard"`
-	Depth   int        `json:"depth"`
-	Commits int        `json:"commits"`
-	Reloads int        `json:"reloads"`
-	Last    durationMS `json:"lastMs"`
-	Mean    durationMS `json:"meanMs"`
+	Shard   int `json:"shard"`
+	Depth   int `json:"depth"`
+	Commits int `json:"commits"`
+	// Repairs/Reloads split the shard's donated-group migrations into
+	// incremental DeltaEngine repairs and full engine rebuilds; RepairLast
+	// and RepairMean time the subtractive-delta portion of repair commits.
+	Repairs    int        `json:"repairs"`
+	Reloads    int        `json:"reloads"`
+	Last       durationMS `json:"lastMs"`
+	Mean       durationMS `json:"meanMs"`
+	RepairLast durationMS `json:"repairLastMs"`
+	RepairMean durationMS `json:"repairMeanMs"`
 }
 
 // durationMS renders a duration as fractional milliseconds in JSON.
@@ -363,6 +389,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	recovery := s.recovery
 	lastSnapDur := s.lastSnapDur
 	snapErrs := s.snapErrs
+	lastCompaction := s.lastCompaction
+	compactErrs := s.compactErrs
 	s.mu.Unlock()
 
 	resp := statsResponse{
@@ -370,6 +398,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Initial:         durationMS(m.Initial),
 		Seq:             snap.Seq,
 		Changes:         snap.Changes,
+		Inserts:         snap.Inserts,
+		Removals:        snap.Removals,
 		QueueDepth:      s.QueueDepth(),
 		Threads:         grb.Threads(),
 		Engines:         snap.Engines,
@@ -378,13 +408,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ParkedComments:  s.rt.ParkedComments(),
 	}
 	for _, st := range s.rt.ShardStats() {
+		resp.DonorRepairs += st.Repairs
+		resp.DonorReloads += st.Reloads
 		resp.Shards = append(resp.Shards, shardStatsJSON{
-			Shard:   st.Shard,
-			Depth:   st.Depth,
-			Commits: st.Commits,
-			Reloads: st.Reloads,
-			Last:    durationMS(st.Last),
-			Mean:    durationMS(st.Mean()),
+			Shard:      st.Shard,
+			Depth:      st.Depth,
+			Commits:    st.Commits,
+			Repairs:    st.Repairs,
+			Reloads:    st.Reloads,
+			Last:       durationMS(st.Last),
+			Mean:       durationMS(st.Mean()),
+			RepairLast: durationMS(st.RepairLast),
+			RepairMean: durationMS(st.RepairMean()),
 		})
 	}
 	resp.Updates.Count = m.UpdateCount
@@ -400,22 +435,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.wal != nil {
 		wm := s.wal.Metrics()
 		p := &persistStatsJSON{
-			Dir:             s.cfg.PersistDir,
-			Fsync:           s.cfg.Fsync.String(),
-			WalAppends:      wm.Appends,
-			WalBytes:        wm.AppendedBytes,
-			WalFsyncs:       wm.Fsyncs,
-			WalRotations:    wm.Rotations,
-			WalSegments:     wm.Segments,
-			WalLastSeq:      s.wal.LastSeq(),
-			WalSyncErrors:   wm.SyncErrors,
-			Snapshots:       wm.Snapshots,
-			SnapshotBytes:   wm.SnapshotBytes,
-			LastSnapshotSeq: wm.LastSnapSeq,
-			LastSnapshotMs:  durationMS(lastSnapDur),
-			SnapshotErrors:  snapErrs,
-			TrimmedSegments: wm.TrimmedSegs,
-			Recovered:       s.recovered,
+			Dir:              s.cfg.PersistDir,
+			Fsync:            s.cfg.Fsync.String(),
+			WalAppends:       wm.Appends,
+			WalBytes:         wm.AppendedBytes,
+			WalFsyncs:        wm.Fsyncs,
+			WalRotations:     wm.Rotations,
+			WalSegments:      wm.Segments,
+			WalLastSeq:       s.wal.LastSeq(),
+			WalSyncErrors:    wm.SyncErrors,
+			Snapshots:        wm.Snapshots,
+			SnapshotBytes:    wm.SnapshotBytes,
+			LastSnapshotSeq:  wm.LastSnapSeq,
+			LastSnapshotMs:   durationMS(lastSnapDur),
+			SnapshotErrors:   snapErrs,
+			TrimmedSegments:  wm.TrimmedSegs,
+			Compactions:      wm.Compactions,
+			CompactedSegs:    wm.CompactedSegs,
+			CompactedBytes:   wm.CompactedBytes,
+			CompactionErrors: compactErrs,
+			Recovered:        s.recovered,
+		}
+		if lastCompaction != nil {
+			lc := *lastCompaction
+			p.LastCompaction = &lc
 		}
 		p.Recovery.SnapshotSeq = recovery.SnapshotSeq
 		p.Recovery.ReplayedBatches = recovery.ReplayedBatches

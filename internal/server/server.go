@@ -85,6 +85,16 @@ type Config struct {
 	// (bounding recovery replay to N batches). Default 256; negative
 	// disables periodic snapshots (Close still writes a final one).
 	SnapshotEvery int
+	// CompactEvery runs change-key compaction over the WAL's sealed
+	// segments every N committed batches (see internal/wal: superseded
+	// add+remove pairs drop out of the replay history, record sequence
+	// numbers survive). 0 disables compaction; only meaningful with
+	// PersistDir.
+	CompactEvery int
+	// SegmentBytes overrides the WAL's segment rotation threshold (default
+	// 4 MiB). A tuning/testing knob: compaction only ever works on sealed
+	// segments, so tests use small segments to exercise it.
+	SegmentBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -138,6 +148,12 @@ func (c Config) Validate() error {
 	}
 	if c.FsyncInterval < 0 {
 		return fmt.Errorf("fsync interval must be positive (got %v)", c.FsyncInterval)
+	}
+	if c.CompactEvery < 0 {
+		return fmt.Errorf("compact every must be >= 0 (got %d; 0 disables)", c.CompactEvery)
+	}
+	if c.SegmentBytes < 0 {
+		return fmt.Errorf("segment bytes must be >= 0 (got %d; 0 means the default)", c.SegmentBytes)
 	}
 	return nil
 }
@@ -221,6 +237,12 @@ type Server struct {
 	replayTotal int
 	lastSnapDur time.Duration
 	snapErrs    int
+	// lastCompaction is the most recent WAL compaction pass's report (nil
+	// until a pass completes — /stats gates on the report itself, not the
+	// WAL's pass counter, which increments before the report is stored);
+	// compactErrs counts failed passes (guarded by mu).
+	lastCompaction *wal.CompactionReport
+	compactErrs    int
 }
 
 // New builds the serving state, warms every engine through its Load and
@@ -249,6 +271,7 @@ func New(cfg Config) (*Server, error) {
 			Dir:          cfg.PersistDir,
 			Sync:         cfg.Fsync,
 			SyncInterval: cfg.FsyncInterval,
+			SegmentBytes: cfg.SegmentBytes,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: open wal: %w", err)

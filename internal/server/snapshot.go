@@ -16,8 +16,16 @@ import (
 type Snapshot struct {
 	// Seq is the number of committed batches; 0 is the initial evaluation.
 	Seq int
-	// Changes is the total number of committed changes across all batches.
+	// Changes is the total number of committed changes across all batches
+	// (carried across restarts through the durable snapshot's metadata).
 	Changes int
+	// Inserts and Removals split the changes this process committed —
+	// including recovered WAL-tail replay, but not history already folded
+	// into the recovery snapshot (the durable metadata does not retain the
+	// split). They let /stats and the WAL compaction report distinguish
+	// insertion volume from removal churn.
+	Inserts  int
+	Removals int
 	// Results maps engine key (EngineQ1, EngineQ2, EngineQ2CC) to the
 	// contest's "id|id|id" answer string.
 	Results map[string]string

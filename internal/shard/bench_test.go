@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/model"
+)
+
+// donorFixture builds a 2-shard workload in which a small group (the
+// migrated-group size, fixed) bridges into a big group on the other shard,
+// forcing the donor — which also holds a `remaining`-sized partition — to
+// repair or reload. The deterministic initial placement puts the biggest
+// group alone on shard 0 and the remaining + small groups on shard 1, so
+// the bridge always migrates the small group 1→0 and the donor's surviving
+// partition has exactly `remaining`+1 entities.
+//
+// The tentpole's claim is measured by sweeping `remaining` with the group
+// size fixed: incremental repair (DeltaEngine retraction) stays flat while
+// the reload fallback grows with the surviving partition.
+func donorFixture(remaining, group int) (*model.Snapshot, *model.ChangeSet) {
+	big := remaining + group + 10 // strictly biggest: placed first, wins the merge
+	snap := &model.Snapshot{Posts: []model.Post{{ID: 1, Timestamp: 1}}}
+	addGroup := func(comment model.ID, firstUser model.ID, n int) {
+		snap.Comments = append(snap.Comments, model.Comment{ID: comment, Timestamp: int64(comment), ParentID: 1, PostID: 1})
+		for i := 0; i < n; i++ {
+			u := firstUser + model.ID(i)
+			snap.Users = append(snap.Users, model.User{ID: u})
+			snap.Likes = append(snap.Likes, model.Like{UserID: u, CommentID: comment})
+		}
+	}
+	addGroup(10, 1_000_000, big)
+	addGroup(11, 2_000_000, remaining)
+	addGroup(12, 3_000_000, group)
+	bridge := &model.ChangeSet{Changes: []model.Change{
+		{Kind: model.KindAddFriendship, Friendship: model.Friendship{User1: 3_000_000, User2: 1_000_000}},
+	}}
+	return snap, bridge
+}
+
+func benchDonor(b *testing.B, wantRepair bool) {
+	const group = 8
+	for _, remaining := range []int{1 << 10, 1 << 12, 1 << 14} {
+		b.Run(fmt.Sprintf("remaining%d", remaining), func(b *testing.B) {
+			snap, bridge := donorFixture(remaining, group)
+			var repairNs float64
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				rt, err := New(2, snap.Clone())
+				if err != nil {
+					b.Fatal(err)
+				}
+				cs := &model.ChangeSet{Changes: append([]model.Change(nil), bridge.Changes...)}
+				b.StartTimer()
+				if _, err := rt.Commit(cs); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				repairs, reloads := 0, 0
+				for _, st := range rt.ShardStats() {
+					repairs += st.Repairs
+					reloads += st.Reloads
+					repairNs += float64(st.RepairTotal.Nanoseconds())
+				}
+				if wantRepair && (repairs == 0 || reloads != 0) {
+					b.Fatalf("expected incremental repair, got repairs=%d reloads=%d", repairs, reloads)
+				}
+				if !wantRepair && reloads == 0 {
+					b.Fatalf("expected reload fallback, got repairs=%d reloads=%d", repairs, reloads)
+				}
+				rt.Close()
+			}
+			if wantRepair {
+				// The retraction itself (the part that replaced the reload);
+				// the surrounding ns/op also pays commit bookkeeping and the
+				// per-commit stats observation.
+				b.ReportMetric(repairNs/float64(b.N), "repair-ns/op")
+			}
+		})
+	}
+}
+
+// BenchmarkDonorRepair times the cross-shard merge commit when the donor
+// subtracts the migrated group through core.DeltaEngine: cost tracks the
+// migrated-group size, not the donor's surviving partition.
+func BenchmarkDonorRepair(b *testing.B) { benchDonor(b, true) }
+
+// BenchmarkDonorReload times the same commit with the DeltaEngine
+// capability hidden, forcing the pre-refactor behavior: the donor rebuilds
+// its Q2 engines from the surviving partition, so cost grows with it.
+func BenchmarkDonorReload(b *testing.B) {
+	old := servedEngines
+	servedEngines = func() []harness.ServedEngine {
+		out := harness.ServedEngines()
+		for i := range out {
+			if out[i].Query == "Q2" {
+				inner := out[i].New
+				out[i].New = func() core.Solution { return noDelta{inner()} }
+			}
+		}
+		return out
+	}
+	defer func() { servedEngines = old }()
+	benchDonor(b, false)
+}

@@ -81,24 +81,42 @@ func newQ2State() *q2state {
 	}
 }
 
+// shardOp is one migration-bookkeeping step for a single shard, applied
+// before the shard's routed q2 stream. Exactly one field is set: retract is
+// the donor side of a group migration (a self-contained subtractive delta
+// for core.DeltaEngine), synthetic the recipient side (the moved subgraph
+// replayed as adds). Ops are chronological — a shard that receives a group
+// and then donates the merged result in the same commit sees the add batch
+// before the retraction.
+type shardOp struct {
+	retract   *model.Retraction
+	synthetic []model.Change
+}
+
 // plan is the per-commit output of routing: one change list per shard and
-// engine family, plus rebalance bookkeeping. Shards marked dirty rebuild
-// their Q2 engines from the post-commit partition snapshot instead of
-// applying q2/synthetic incrementally.
+// engine family, plus the chronological migration ops per shard.
 type plan struct {
-	q1        [][]model.Change
-	q2        [][]model.Change
-	synthetic [][]model.Change // migrated-in entities, applied before q2
-	dirty     []bool
+	q1  [][]model.Change
+	q2  [][]model.Change
+	ops [][]shardOp
 }
 
 func newPlan(n int) *plan {
 	return &plan{
-		q1:        make([][]model.Change, n),
-		q2:        make([][]model.Change, n),
-		synthetic: make([][]model.Change, n),
-		dirty:     make([]bool, n),
+		q1:  make([][]model.Change, n),
+		q2:  make([][]model.Change, n),
+		ops: make([][]shardOp, n),
 	}
+}
+
+// hasRetraction reports whether shard s donates a group this commit.
+func (p *plan) hasRetraction(s int) bool {
+	for i := range p.ops[s] {
+		if p.ops[s][i].retract != nil {
+			return true
+		}
+	}
+	return false
 }
 
 // router holds all partitioning state. It is confined to the runtime's
@@ -374,15 +392,17 @@ func (r *router) union(a, b nodeKey, p *plan) error {
 }
 
 // migrate moves the materialized entities of the group rooted at loser from
-// its current shard to dest, marking the donor dirty and queueing synthetic
-// adds for the recipient. All materialized members of a group live on its
-// shard and all their Q2-relevant edges are intra-group, so moving the
-// member list moves a complete, self-contained subgraph.
+// its current shard to dest: the moved subgraph is expressed once as a
+// keyed delta, queued for the donor as a retraction (a core.DeltaEngine
+// subtracts it; engines without the capability fall back to a reload) and
+// for the recipient as synthetic add-changes. All materialized members of a
+// group live on its shard and all their Q2-relevant edges are intra-group,
+// so moving the member list moves a complete, self-contained subgraph —
+// exactly the precondition DeltaEngine.Retract requires.
 func (r *router) migrate(loser, dest int, p *plan) {
 	src := r.groupShard[loser]
 	from, to := r.states[src], r.states[dest]
-	syn := p.synthetic[dest]
-	var movedUsers []model.ID
+	ret := &model.Retraction{}
 	var movedComments []model.Comment
 	for _, ni := range r.members[loser] {
 		if !r.materialized[ni] {
@@ -396,7 +416,7 @@ func (r *router) migrate(loser, dest int, p *plan) {
 				to.friends[k.id] = adj
 				delete(from.friends, k.id)
 			}
-			movedUsers = append(movedUsers, k.id)
+			ret.Users = append(ret.Users, k.id)
 		} else {
 			c := from.comments[k.id]
 			delete(from.comments, k.id)
@@ -405,31 +425,43 @@ func (r *router) migrate(loser, dest int, p *plan) {
 				to.likes[k.id] = likers
 				delete(from.likes, k.id)
 			}
+			ret.Comments = append(ret.Comments, c.ID)
 			movedComments = append(movedComments, c)
 		}
 	}
-	for _, id := range movedUsers {
+	for _, c := range movedComments {
+		for u := range to.likes[c.ID] {
+			ret.Likes = append(ret.Likes, model.Like{UserID: u, CommentID: c.ID})
+		}
+	}
+	// Both endpoints of every moved friendship migrate together, so the
+	// u < v half of each adjacency set lists the edge exactly once.
+	for _, u := range ret.Users {
+		for v := range to.friends[u] {
+			if u < v {
+				ret.Friendships = append(ret.Friendships, model.Friendship{User1: u, User2: v})
+			}
+		}
+	}
+
+	// The recipient's synthetic add stream is the same delta replayed
+	// additively: nodes first, then the edges among them.
+	syn := make([]model.Change, 0, ret.Size())
+	for _, id := range ret.Users {
 		syn = append(syn, model.Change{Kind: model.KindAddUser, User: model.User{ID: id}})
 	}
 	for _, c := range movedComments {
 		syn = append(syn, model.Change{Kind: model.KindAddComment, Comment: c})
 	}
-	for _, c := range movedComments {
-		for u := range to.likes[c.ID] {
-			syn = append(syn, model.Change{Kind: model.KindAddLike, Like: model.Like{UserID: u, CommentID: c.ID}})
-		}
+	for _, l := range ret.Likes {
+		syn = append(syn, model.Change{Kind: model.KindAddLike, Like: l})
 	}
-	// Both endpoints of every moved friendship migrate together, so the
-	// u < v half of each adjacency set emits the edge exactly once.
-	for _, u := range movedUsers {
-		for v := range to.friends[u] {
-			if u < v {
-				syn = append(syn, model.Change{Kind: model.KindAddFriendship, Friendship: model.Friendship{User1: u, User2: v}})
-			}
-		}
+	for _, f := range ret.Friendships {
+		syn = append(syn, model.Change{Kind: model.KindAddFriendship, Friendship: f})
 	}
-	p.synthetic[dest] = syn
-	p.dirty[src] = true
+
+	p.ops[src] = append(p.ops[src], shardOp{retract: ret})
+	p.ops[dest] = append(p.ops[dest], shardOp{synthetic: syn})
 	r.rebalances++
 }
 

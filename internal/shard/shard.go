@@ -35,11 +35,18 @@ type Stats struct {
 	Depth int
 	// Commits counts commands the shard's writer has applied.
 	Commits int
-	// Reloads counts Q2 engine rebuilds forced by group rebalances.
+	// Repairs counts donor-side group migrations applied incrementally
+	// through core.DeltaEngine; Reloads counts full Q2 engine rebuilds
+	// (engines without the capability). Repairs + Reloads commits carried a
+	// donated group.
+	Repairs int
 	Reloads int
-	// Last and Total aggregate the shard's apply latencies.
-	Last  time.Duration
-	Total time.Duration
+	// Last and Total aggregate the shard's apply latencies; RepairLast and
+	// RepairTotal the subtractive-delta portion of repair commits.
+	Last        time.Duration
+	Total       time.Duration
+	RepairLast  time.Duration
+	RepairTotal time.Duration
 }
 
 // Mean is the shard's mean apply latency.
@@ -48,6 +55,14 @@ func (s Stats) Mean() time.Duration {
 		return 0
 	}
 	return s.Total / time.Duration(s.Commits)
+}
+
+// RepairMean is the shard's mean incremental-repair latency.
+func (s Stats) RepairMean() time.Duration {
+	if s.Repairs == 0 {
+		return 0
+	}
+	return s.RepairTotal / time.Duration(s.Repairs)
 }
 
 // engineInst is one warm engine on one shard.
@@ -60,21 +75,27 @@ type engineInst struct {
 // command is one commit's slice of work for a single shard.
 type command struct {
 	q1 []model.Change // post-routed stream, applied to Q1-family engines
-	q2 []model.Change // group-routed stream (synthetic migration adds first)
-	// reload, when set, replaces the Q2-family engines with fresh instances
-	// loaded from this partition snapshot (which already reflects the
-	// commit); q2 is empty in that case.
+	q2 []model.Change // group-routed stream, applied after ops
+	// ops are the shard's chronological migration steps: retractions when it
+	// donates a group, synthetic adds when it receives one.
+	ops []shardOp
+	// reload is the fallback for Q2 engines without the core.DeltaEngine
+	// capability: set (to the post-commit partition snapshot) only when ops
+	// contain a retraction some engine cannot apply subtractively. Capable
+	// engines still repair incrementally; incapable ones rebuild from it.
 	reload *model.Snapshot
 	resp   chan<- response
 }
 
 type response struct {
-	shard    int
-	err      error
-	results  map[string]core.Result
-	stats    map[string]core.EngineStats
-	reloaded bool
-	elapsed  time.Duration
+	shard     int
+	err       error
+	results   map[string]core.Result
+	stats     map[string]core.EngineStats
+	repaired  bool // a donated group was subtracted via DeltaEngine
+	reloaded  bool // a donated group forced a full engine rebuild
+	repairDur time.Duration
+	elapsed   time.Duration
 }
 
 // worker owns one shard's engines. Only its goroutine touches them after
@@ -87,6 +108,10 @@ type worker struct {
 	q2   []engineInst
 }
 
+// servedEngines resolves the engine lineup; a variable so tests can stub a
+// lineup without the DeltaEngine capability to exercise the reload fallback.
+var servedEngines = harness.ServedEngines
+
 // Runtime is the sharded engine runtime. New loads the partitions and
 // starts one writer goroutine per shard; Commit routes and applies one
 // change set with a global barrier; Results/Stats serve reads. Commit and
@@ -96,6 +121,9 @@ type Runtime struct {
 	n       int
 	router  *router
 	workers []*worker
+	// deltaCapable is true when every Q2 engine implements core.DeltaEngine,
+	// so a donor repairs incrementally and no reload snapshot is ever built.
+	deltaCapable bool
 
 	loadDur    time.Duration
 	initialDur time.Duration
@@ -135,7 +163,7 @@ func New(n int, snap *model.Snapshot) (*Runtime, error) {
 	}
 	for s := 0; s < n; s++ {
 		w := &worker{id: s, cmds: make(chan command, 1), done: make(chan struct{})}
-		for _, e := range harness.ServedEngines() {
+		for _, e := range servedEngines() {
 			inst := engineInst{key: e.Key, factory: e.New, sol: e.New()}
 			if e.Query == "Q1" {
 				w.q1 = append(w.q1, inst)
@@ -145,6 +173,13 @@ func New(n int, snap *model.Snapshot) (*Runtime, error) {
 		}
 		rt.workers[s] = w
 		rt.meta[s].Shard = s
+	}
+	rt.deltaCapable = true
+	for _, e := range rt.workers[0].q2 {
+		if _, ok := e.sol.(core.DeltaEngine); !ok {
+			rt.deltaCapable = false
+			break
+		}
 	}
 
 	errs := make([]error, n)
@@ -246,21 +281,6 @@ func (w *worker) run() {
 }
 
 func (w *worker) apply(cmd command, resp *response) error {
-	if cmd.reload != nil {
-		resp.reloaded = true
-		fresh := make([]engineInst, len(w.q2))
-		for i, e := range w.q2 {
-			sol := e.factory()
-			if err := sol.Load(cmd.reload); err != nil {
-				return fmt.Errorf("shard %d: %s reload: %w", w.id, sol.Name(), err)
-			}
-			if _, err := sol.Initial(); err != nil {
-				return fmt.Errorf("shard %d: %s reload initial: %w", w.id, sol.Name(), err)
-			}
-			fresh[i] = engineInst{key: e.key, factory: e.factory, sol: sol}
-		}
-		w.q2 = fresh
-	}
 	if len(cmd.q1) > 0 {
 		cs := &model.ChangeSet{Changes: cmd.q1}
 		for _, e := range w.q1 {
@@ -269,13 +289,79 @@ func (w *worker) apply(cmd command, resp *response) error {
 			}
 		}
 	}
-	if len(cmd.q2) > 0 {
-		cs := &model.ChangeSet{Changes: cmd.q2}
-		for _, e := range w.q2 {
-			if _, err := e.sol.Update(cs); err != nil {
-				return fmt.Errorf("shard %d: %s update: %w", w.id, e.sol.Name(), err)
+
+	hasRetract := false
+	for i := range cmd.ops {
+		if cmd.ops[i].retract != nil {
+			hasRetract = true
+			break
+		}
+	}
+	if !hasRetract {
+		// No donation: any ops are purely additive (migrated-in subgraphs),
+		// so they merge ahead of the routed stream into one update.
+		q2 := cmd.q2
+		if len(cmd.ops) > 0 {
+			var merged []model.Change
+			for i := range cmd.ops {
+				merged = append(merged, cmd.ops[i].synthetic...)
+			}
+			q2 = append(merged, cmd.q2...)
+		}
+		if len(q2) > 0 {
+			cs := &model.ChangeSet{Changes: q2}
+			for _, e := range w.q2 {
+				if _, err := e.sol.Update(cs); err != nil {
+					return fmt.Errorf("shard %d: %s update: %w", w.id, e.sol.Name(), err)
+				}
 			}
 		}
+		return nil
+	}
+
+	// Donor path: engines with the DeltaEngine capability replay the ops in
+	// order — retractions subtractively, migrated-in groups additively —
+	// then the routed stream; engines without it rebuild from the
+	// post-commit partition snapshot instead (the reload this refactor
+	// makes the exception rather than the rule).
+	for i := range w.q2 {
+		e := &w.q2[i]
+		if de, ok := e.sol.(core.DeltaEngine); ok {
+			start := time.Now()
+			for _, op := range cmd.ops {
+				if op.retract != nil {
+					if _, err := de.Retract(op.retract); err != nil {
+						return fmt.Errorf("shard %d: %s retract: %w", w.id, e.sol.Name(), err)
+					}
+				} else if len(op.synthetic) > 0 {
+					cs := &model.ChangeSet{Changes: op.synthetic}
+					if _, err := e.sol.Update(cs); err != nil {
+						return fmt.Errorf("shard %d: %s update: %w", w.id, e.sol.Name(), err)
+					}
+				}
+			}
+			resp.repairDur += time.Since(start)
+			resp.repaired = true
+			if len(cmd.q2) > 0 {
+				cs := &model.ChangeSet{Changes: cmd.q2}
+				if _, err := e.sol.Update(cs); err != nil {
+					return fmt.Errorf("shard %d: %s update: %w", w.id, e.sol.Name(), err)
+				}
+			}
+			continue
+		}
+		if cmd.reload == nil {
+			return fmt.Errorf("shard %d: %s cannot retract and no reload snapshot was provided", w.id, e.sol.Name())
+		}
+		sol := e.factory()
+		if err := sol.Load(cmd.reload); err != nil {
+			return fmt.Errorf("shard %d: %s reload: %w", w.id, sol.Name(), err)
+		}
+		if _, err := sol.Initial(); err != nil {
+			return fmt.Errorf("shard %d: %s reload initial: %w", w.id, sol.Name(), err)
+		}
+		e.sol = sol
+		resp.reloaded = true
 	}
 	return nil
 }
@@ -294,15 +380,14 @@ func (rt *Runtime) Commit(cs *model.ChangeSet) (map[string]string, error) {
 	respCh := make(chan response, rt.n)
 	active := 0
 	for s := 0; s < rt.n; s++ {
-		cmd := command{q1: p.q1[s], resp: respCh}
-		if p.dirty[s] {
+		cmd := command{q1: p.q1[s], q2: p.q2[s], ops: p.ops[s], resp: respCh}
+		if !rt.deltaCapable && p.hasRetraction(s) {
+			// Some engine will need the reload fallback; the snapshot is
+			// built only then — when every engine repairs incrementally the
+			// O(partition) snapshot walk never happens.
 			cmd.reload = rt.router.q2Snapshot(s)
-		} else if len(p.synthetic[s]) > 0 {
-			cmd.q2 = append(p.synthetic[s], p.q2[s]...)
-		} else {
-			cmd.q2 = p.q2[s]
 		}
-		if len(cmd.q1) == 0 && len(cmd.q2) == 0 && cmd.reload == nil {
+		if len(cmd.q1) == 0 && len(cmd.q2) == 0 && len(cmd.ops) == 0 {
 			continue
 		}
 		rt.workers[s].cmds <- cmd
@@ -327,6 +412,11 @@ func (rt *Runtime) Commit(cs *model.ChangeSet) (map[string]string, error) {
 			m.Commits++
 			m.Last = resp.elapsed
 			m.Total += resp.elapsed
+			if resp.repaired {
+				m.Repairs++
+				m.RepairLast = resp.repairDur
+				m.RepairTotal += resp.repairDur
+			}
 			if resp.reloaded {
 				m.Reloads++
 			}
@@ -350,7 +440,7 @@ func (rt *Runtime) Results() map[string]string {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	out := make(map[string]string)
-	for _, e := range harness.ServedEngines() {
+	for _, e := range servedEngines() {
 		m := core.NewMergedTopK(core.TopK)
 		if e.Query == "Q2" {
 			m.Merge(parked)
@@ -369,7 +459,7 @@ func (rt *Runtime) Results() map[string]string {
 // the totals count distinct entities rather than replicas.
 func (rt *Runtime) EngineTotals() map[string]core.EngineStats {
 	queryOf := make(map[string]string)
-	for _, e := range harness.ServedEngines() {
+	for _, e := range servedEngines() {
 		queryOf[e.Key] = e.Query
 	}
 	rt.mu.Lock()

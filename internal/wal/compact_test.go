@@ -1,0 +1,298 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// churnChanges builds a batch whose like/friendship churn compacts: an add
+// and a remove of the same edges (net nothing) plus one surviving like.
+func churnChanges(i int64) []model.Change {
+	return []model.Change{
+		{Kind: model.KindAddUser, User: model.User{ID: 1000 + i}},
+		{Kind: model.KindAddLike, Like: model.Like{UserID: 1000 + i, CommentID: 1}},
+		{Kind: model.KindAddFriendship, Friendship: model.Friendship{User1: 1000 + i, User2: 1}},
+		{Kind: model.KindRemoveFriendship, Friendship: model.Friendship{User1: 1, User2: 1000 + i}},
+		{Kind: model.KindRemoveLike, Like: model.Like{UserID: 1000 + i, CommentID: 1}},
+		{Kind: model.KindAddLike, Like: model.Like{UserID: 1000 + i, CommentID: 2}},
+	}
+}
+
+// copyDir duplicates a durability directory, for compacted-vs-uncompacted
+// comparisons.
+func copyDir(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dst
+}
+
+// replayState applies a recovery's batches on top of its snapshot (or an
+// empty base) — the final model state a recovering server rebuilds.
+func replayState(info RecoveryInfo) *model.Snapshot {
+	s := &model.Snapshot{}
+	if info.HasSnapshot {
+		s = info.Snapshot.Clone()
+	}
+	for _, b := range info.Batches {
+		cs := model.ChangeSet{Changes: b.Changes}
+		s.Apply(&cs)
+	}
+	return s
+}
+
+// churnLog writes n churn batches across several small segments and closes
+// the log, returning the directory.
+func churnLog(t *testing.T, n int) string {
+	t.Helper()
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, Sync: SyncOff, SegmentBytes: 512})
+	for i := int64(1); i <= int64(n); i++ {
+		if err := l.Append(uint64(i), churnChanges(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestCompactDirPreservesRecoveredState is the core compaction oracle:
+// recovery over a compacted directory must rebuild exactly the state an
+// uncompacted copy rebuilds, with the same contiguous sequence numbers,
+// while the superseded add+remove churn disappears from the files.
+func TestCompactDirPreservesRecoveredState(t *testing.T) {
+	const n = 40
+	dir := churnLog(t, n)
+	plain := copyDir(t, dir)
+
+	rep, err := CompactDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CompactedSegments == 0 {
+		t.Fatalf("no segment compacted: %+v", rep)
+	}
+	if rep.ChangesOut >= rep.ChangesIn {
+		t.Fatalf("compaction dropped nothing: %+v", rep)
+	}
+	if rep.BytesOut >= rep.BytesIn {
+		t.Fatalf("compaction saved no bytes: %+v", rep)
+	}
+	if rep.RemovalsOut >= rep.RemovalsIn {
+		t.Fatalf("removals were not superseded: %+v", rep)
+	}
+
+	vrep, err := Verify(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vrep.Damaged() {
+		t.Fatalf("compacted directory verifies damaged: %+v", vrep)
+	}
+
+	lc, infoC := mustOpen(t, Options{Dir: dir})
+	defer lc.Close()
+	lp, infoP := mustOpen(t, Options{Dir: plain})
+	defer lp.Close()
+	if len(infoC.Batches) != len(infoP.Batches) {
+		t.Fatalf("compacted recovery has %d batches, uncompacted %d", len(infoC.Batches), len(infoP.Batches))
+	}
+	for i := range infoC.Batches {
+		if infoC.Batches[i].Seq != infoP.Batches[i].Seq {
+			t.Fatalf("batch %d: seq %d vs %d", i, infoC.Batches[i].Seq, infoP.Batches[i].Seq)
+		}
+	}
+	if !reflect.DeepEqual(replayState(infoC), replayState(infoP)) {
+		t.Fatal("compacted and uncompacted recoveries rebuild different states")
+	}
+	if lc.LastSeq() != lp.LastSeq() {
+		t.Fatalf("LastSeq %d vs %d", lc.LastSeq(), lp.LastSeq())
+	}
+	// Appends continue normally after recovery from a compacted log.
+	if err := lc.Append(uint64(n+1), churnChanges(n+1)); err != nil {
+		t.Fatalf("append after compacted recovery: %v", err)
+	}
+}
+
+// TestCompactDirNeverTouchesActiveSegment: the newest segment is the one a
+// restarted server appends to; compaction must leave it byte-identical.
+func TestCompactDirNeverTouchesActiveSegment(t *testing.T) {
+	dir := churnLog(t, 40)
+	segs, err := listSeqFiles(dir, "wal-", ".seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("fixture produced %d segments, want >= 2", len(segs))
+	}
+	active := segs[len(segs)-1]
+	before, err := os.ReadFile(filepath.Join(dir, active))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompactDir(dir, false); err != nil {
+		t.Fatal(err)
+	}
+	after, err := os.ReadFile(filepath.Join(dir, active))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("compaction modified the active segment")
+	}
+}
+
+// TestCompactDirDryRun measures without modifying anything.
+func TestCompactDirDryRun(t *testing.T) {
+	dir := churnLog(t, 40)
+	fingerprint := func() map[string]int64 {
+		out := map[string]int64{}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			st, err := e.Info()
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[e.Name()] = st.Size()
+		}
+		return out
+	}
+	before := fingerprint()
+	rep, err := CompactDir(dir, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.DryRun || rep.CompactedSegments == 0 || rep.BytesOut >= rep.BytesIn {
+		t.Fatalf("dry run measured nothing: %+v", rep)
+	}
+	if !reflect.DeepEqual(before, fingerprint()) {
+		t.Fatal("dry run modified the directory")
+	}
+	// The real pass must deliver what the dry run promised.
+	real, err := CompactDir(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if real.BytesOut != rep.BytesOut || real.ChangesOut != rep.ChangesOut {
+		t.Fatalf("dry run promised bytes=%d changes=%d, real pass delivered bytes=%d changes=%d",
+			rep.BytesOut, rep.ChangesOut, real.BytesOut, real.ChangesOut)
+	}
+}
+
+// TestLogCompactLive compacts through an open log while it keeps appending,
+// then verifies recovery of the full (compacted + fresh) history.
+func TestLogCompactLive(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := mustOpen(t, Options{Dir: dir, Sync: SyncOff, SegmentBytes: 512})
+	const n = 30
+	for i := int64(1); i <= n; i++ {
+		if err := l.Append(uint64(i), churnChanges(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := l.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.CompactedSegments == 0 {
+		t.Fatalf("live compaction rewrote nothing: %+v", rep)
+	}
+	m := l.Metrics()
+	if m.Compactions != 1 || m.CompactedSegs != int64(rep.CompactedSegments) || m.CompactedBytes <= 0 {
+		t.Fatalf("compaction metrics not recorded: %+v", m)
+	}
+	// A second pass with no newly sealed segments skips everything — the
+	// watermark keeps periodic passes from re-reading the whole history.
+	rep2, err := l.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.SealedSegments != 0 || rep2.CompactedSegments != 0 {
+		t.Fatalf("second pass re-processed already-compacted segments: %+v", rep2)
+	}
+	// The log must keep appending to its (untouched) active segment.
+	for i := int64(n + 1); i <= n+10; i++ {
+		if err := l.Append(uint64(i), churnChanges(i)); err != nil {
+			t.Fatalf("append after live compaction: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, info := mustOpen(t, Options{Dir: dir})
+	defer l2.Close()
+	if len(info.Batches) != n+10 {
+		t.Fatalf("recovered %d batches, want %d", len(info.Batches), n+10)
+	}
+	for i, b := range info.Batches {
+		if b.Seq != uint64(i+1) {
+			t.Fatalf("batch %d has seq %d, want %d", i, b.Seq, i+1)
+		}
+	}
+}
+
+// TestCompactRefusesDamagedSealedSegment: corruption in sealed history is
+// lost commits; compaction must surface it, not rewrite around it.
+func TestCompactRefusesDamagedSealedSegment(t *testing.T) {
+	dir := churnLog(t, 40)
+	segs, err := listSeqFiles(dir, "wal-", ".seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(dir, segs[0])
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(segmentMagic)+10] ^= 0xff // flip a payload byte: CRC mismatch
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompactDir(dir, false); err == nil {
+		t.Fatal("compaction of a damaged sealed segment succeeded, want error")
+	}
+}
+
+// TestOpenSweepsOrphanedCompactTemp: a crash between temp write and rename
+// leaves wal-*.seg.compact behind; Open must remove it and recover from the
+// originals.
+func TestOpenSweepsOrphanedCompactTemp(t *testing.T) {
+	dir := churnLog(t, 10)
+	segs, err := listSeqFiles(dir, "wal-", ".seg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(dir, segs[0]+".compact")
+	if err := os.WriteFile(orphan, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, info := mustOpen(t, Options{Dir: dir})
+	defer l.Close()
+	if len(info.Batches) != 10 {
+		t.Fatalf("recovered %d batches, want 10", len(info.Batches))
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Fatal("orphaned .compact temp file survived Open")
+	}
+}

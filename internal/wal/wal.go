@@ -104,7 +104,9 @@ func (o Options) withDefaults() Options {
 	if o.SyncInterval == 0 {
 		o.SyncInterval = 100 * time.Millisecond
 	}
-	if o.SegmentBytes == 0 {
+	if o.SegmentBytes <= 0 {
+		// A non-positive threshold would rotate after every append — one
+		// segment file (and directory fsync) per batch; treat it as unset.
 		o.SegmentBytes = 4 << 20
 	}
 	return o
@@ -144,6 +146,10 @@ type Metrics struct {
 	LastSnapSeq   uint64
 	TrimmedSegs   int64 // segments deleted by snapshot trims
 	SyncErrors    int64 // background interval-sync failures
+
+	Compactions    int64 // change-key compaction passes this process
+	CompactedSegs  int64 // sealed segments rewritten by compaction
+	CompactedBytes int64 // bytes reclaimed by compaction
 }
 
 // segmentMeta tracks one live segment file (its first sequence number is
@@ -167,6 +173,12 @@ type Log struct {
 	err      error         // sticky write/sync failure
 	closed   bool
 	metrics  Metrics
+
+	// compactedThrough is the name of the newest sealed segment a Compact
+	// pass has already processed: sealed segments are immutable and
+	// segment-local compaction is idempotent, so re-scanning them could
+	// never shrink them further and later passes skip ahead of this mark.
+	compactedThrough string
 
 	stopSync chan struct{} // interval-sync goroutine shutdown
 	syncDone chan struct{}
@@ -207,11 +219,14 @@ func Open(opt Options) (*Log, RecoveryInfo, error) {
 		return nil, RecoveryInfo{}, fmt.Errorf("wal: %w", err)
 	}
 
-	// Sweep snapshot temp files orphaned by a crash between write and
-	// rename; only renamed ".snap" files are ever part of recovery.
-	if tmps, err := filepath.Glob(filepath.Join(opt.Dir, "snap-*.snap.tmp")); err == nil {
-		for _, tmp := range tmps {
-			_ = os.Remove(tmp)
+	// Sweep snapshot and compaction temp files orphaned by a crash between
+	// write and rename; only renamed ".snap"/".seg" files are ever part of
+	// recovery.
+	for _, pattern := range []string{"snap-*.snap.tmp", "wal-*.seg.compact"} {
+		if tmps, err := filepath.Glob(filepath.Join(opt.Dir, pattern)); err == nil {
+			for _, tmp := range tmps {
+				_ = os.Remove(tmp)
+			}
 		}
 	}
 
