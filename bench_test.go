@@ -16,6 +16,7 @@ package repro
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -30,9 +31,17 @@ import (
 var benchScaleFactors = []int{1, 2, 4, 8, 16}
 
 // datasetCache avoids regenerating identical datasets across benchmarks.
-var datasetCache = map[int]*model.Dataset{}
+// The mutex makes benchDataset safe under `go test -bench -cpu` sweeps and
+// parallel sub-benchmarks, where multiple goroutines can reach the cache
+// at once.
+var (
+	datasetMu    sync.Mutex
+	datasetCache = map[int]*model.Dataset{}
+)
 
 func benchDataset(sf int) *model.Dataset {
+	datasetMu.Lock()
+	defer datasetMu.Unlock()
 	if d, ok := datasetCache[sf]; ok {
 		return d
 	}

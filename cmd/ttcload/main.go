@@ -1,0 +1,130 @@
+// Command ttcload is the serving load-test harness: it drives a
+// configurable read/update mix against a live ttcserve and reports
+// per-endpoint tail latencies (p50/p90/p99/p99.9/max) from a
+// coordinated-omission-safe histogram, so perf PRs have a serving-shaped
+// benchmark to defend.
+//
+// Reads are closed-loop: -readers workers each issue their next GET when
+// the previous answer arrives, cycling over -engines. Updates are
+// open-loop: -rate ops/second are dispatched on a fixed schedule whether
+// or not the server keeps up, and each op's latency is measured from its
+// intended dispatch time — a stalled server is charged for the backlog it
+// causes instead of quietly slowing the generator down (the classic
+// coordinated-omission mistake).
+//
+// Usage:
+//
+//	ttcload -addr http://127.0.0.1:8080 -duration 30s -readers 8 -rate 200
+//	ttcload -addr http://127.0.0.1:8080 -duration 20s -readers 4 -rate 50 \
+//	        -wait -json ttcload.json
+//
+// -json writes the full report — headline quantiles, error counts, and the
+// raw histogram buckets per endpoint — in a document whose benchmarks
+// array follows cmd/benchjson's BENCH_PR.json record schema, so the same
+// tooling can diff load runs.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/loadgen"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:8080", "base URL of the ttcserve to drive")
+		duration = flag.Duration("duration", 30*time.Second, "how long to generate traffic")
+		readers  = flag.Int("readers", 4, "closed-loop read workers (0 disables reads)")
+		engines  = flag.String("engines", "q1,q2,q2cc", "comma-separated read endpoints to cycle over")
+		rate     = flag.Float64("rate", 0, "open-loop update schedule in ops/second (0 disables updates)")
+		wait     = flag.Bool("wait", false, "updates block until committed (wait=true)")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request HTTP timeout")
+		jsonOut  = flag.String("json", "", "write the JSON report to this file (empty: summary only)")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*addr, *engines, *duration, *timeout, *readers, *rate, *wait)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttcload:", err)
+		os.Exit(2)
+	}
+
+	rep, err := loadgen.Run(context.Background(), cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ttcload:", err)
+		os.Exit(1)
+	}
+	rep.Print(os.Stdout)
+
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttcload:", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ttcload:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+
+	// A run where no request succeeded exits nonzero so CI catches a dead
+	// or misconfigured target even without inspecting the artifact
+	// (Endpoint.Count counts successes only).
+	var succeeded uint64
+	for _, e := range rep.Endpoints {
+		succeeded += e.Count
+	}
+	if succeeded == 0 {
+		fmt.Fprintln(os.Stderr, "ttcload: no request succeeded — is the server up?")
+		os.Exit(1)
+	}
+}
+
+// buildConfig validates the flag values into a loadgen.Config; errors map
+// to exit status 2 before any traffic is generated.
+func buildConfig(addr, engines string, duration, timeout time.Duration, readers int, rate float64, wait bool) (loadgen.Config, error) {
+	if addr == "" {
+		return loadgen.Config{}, errors.New("-addr must not be empty")
+	}
+	if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
+		addr = "http://" + addr
+	}
+	var names []string
+	for _, e := range strings.Split(engines, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			names = append(names, e)
+		}
+	}
+	if len(names) == 0 && readers > 0 {
+		return loadgen.Config{}, errors.New("-engines must name at least one endpoint when -readers > 0")
+	}
+	cfg := loadgen.Config{
+		BaseURL:    strings.TrimRight(addr, "/"),
+		Duration:   duration,
+		Readers:    readers,
+		Engines:    names,
+		UpdateRate: rate,
+		UpdateWait: wait,
+		Timeout:    timeout,
+	}
+	if err := cfg.Validate(); err != nil {
+		return loadgen.Config{}, err
+	}
+	return cfg, nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBuildConfig doubles as the build-level smoke test: having any test
+// in this package makes `go test ./...` compile the binary.
+func TestBuildConfig(t *testing.T) {
+	cases := []struct {
+		name    string
+		addr    string
+		engines string
+		readers int
+		rate    float64
+		wantErr bool
+	}{
+		{"defaults", "http://127.0.0.1:8080", "q1,q2,q2cc", 4, 0, false},
+		{"bare host gets scheme", "127.0.0.1:8080", "q1", 1, 0, false},
+		{"updates only", "http://x", "q1", 0, 10, false},
+		{"empty addr", "", "q1", 1, 0, true},
+		{"no engines with readers", "http://x", " , ", 2, 0, true},
+		{"unknown engine", "http://x", "q9", 1, 0, true},
+		{"nothing to do", "http://x", "q1", 0, 0, true},
+		{"negative rate", "http://x", "q1", 1, -1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg, err := buildConfig(tc.addr, tc.engines, 10*time.Second, time.Second, tc.readers, tc.rate, false)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("buildConfig err = %v, wantErr = %v", err, tc.wantErr)
+			}
+			if err == nil && cfg.BaseURL[:7] != "http://" && cfg.BaseURL[:8] != "https://" {
+				t.Fatalf("BaseURL %q lacks a scheme", cfg.BaseURL)
+			}
+		})
+	}
+}
+
+// TestBuildConfigTrimsSlash pins the URL normalization the workers rely on
+// (paths are joined with a leading slash).
+func TestBuildConfigTrimsSlash(t *testing.T) {
+	cfg, err := buildConfig("http://h:1/", "q1", 10*time.Second, time.Second, 1, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.BaseURL != "http://h:1" {
+		t.Fatalf("BaseURL = %q, want trailing slash trimmed", cfg.BaseURL)
+	}
+}

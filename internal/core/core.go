@@ -108,6 +108,11 @@ type Ranker struct {
 // NewTopK returns a Ranker keeping the best k entries.
 func NewTopK(k int) *Ranker { return &Ranker{k: k} }
 
+// Reset empties the ranker for reuse, keeping its entry storage — callers
+// on a hot path (the per-commit shard merge) rank thousands of times and
+// should not allocate a fresh ranker each round.
+func (t *Ranker) Reset() { t.entries = t.entries[:0] }
+
 // Consider offers an entry for ranking.
 func (t *Ranker) Consider(e Entry) {
 	pos := len(t.entries)

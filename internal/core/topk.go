@@ -16,6 +16,10 @@ type MergedTopK struct {
 // NewMergedTopK returns a merger keeping the best k entries.
 func NewMergedTopK(k int) *MergedTopK { return &MergedTopK{r: NewTopK(k)} }
 
+// Reset empties the merger for reuse across merge rounds without
+// reallocating its heap storage.
+func (m *MergedTopK) Reset() { m.r.Reset() }
+
 // Merge folds one partition's ranked partial result in. Partitions must
 // rank disjoint entity sets: the merger does not deduplicate ids, because
 // under exclusive ownership duplicates cannot occur.

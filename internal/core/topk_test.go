@@ -33,6 +33,23 @@ func TestMergeTopKFewerThanK(t *testing.T) {
 	}
 }
 
+// TestMergedTopKReset pins the reuse contract the sharded runtime's
+// commit-path merge relies on: after Reset the merger ranks from scratch,
+// and a previously returned Result is not aliased by later merges.
+func TestMergedTopKReset(t *testing.T) {
+	m := NewMergedTopK(TopK)
+	m.Merge(Result{{ID: 1, Score: 9}, {ID: 2, Score: 8}, {ID: 3, Score: 7}})
+	first := m.Result()
+	m.Reset()
+	m.Merge(Result{{ID: 4, Score: 1}})
+	if got := m.Result(); len(got) != 1 || got[0].ID != 4 {
+		t.Fatalf("after Reset got %v, want [4]", got.IDs())
+	}
+	if first.String() != "1|2|3" {
+		t.Fatalf("pre-Reset result mutated: %q", first)
+	}
+}
+
 // TestMergeTopKMatchesGlobalRanker partitions a random entry population
 // arbitrarily, ranks each partition with the plain Ranker, and checks that
 // merging the partial top-k answers equals ranking the whole population at

@@ -1,0 +1,134 @@
+package loadgen
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// EndpointStats is one endpoint's measured latency profile.
+type EndpointStats struct {
+	// Endpoint is "read:q1", "read:q2", "read:q2cc" or "update".
+	Endpoint string `json:"endpoint"`
+	// Loop is "closed" for reads, "open" for updates (whose latencies are
+	// coordinated-omission-corrected: measured from intended dispatch).
+	Loop string `json:"loop"`
+	// Count is the number of *successful* requests — only those enter the
+	// histogram and the quantiles; Errors counts failures separately, so an
+	// error burst can never pose as a latency improvement.
+	Count     uint64  `json:"count"`
+	Errors    uint64  `json:"errors"`
+	OpsPerSec float64 `json:"opsPerSec"`
+
+	MeanNs int64 `json:"meanNs"`
+	P50Ns  int64 `json:"p50Ns"`
+	P90Ns  int64 `json:"p90Ns"`
+	P99Ns  int64 `json:"p99Ns"`
+	P999Ns int64 `json:"p999Ns"`
+	MaxNs  int64 `json:"maxNs"`
+
+	// Histogram is the full distribution (non-empty buckets), so the
+	// artifact supports any after-the-fact quantile, not just the headline
+	// ones.
+	Histogram []Bucket `json:"histogram"`
+}
+
+// BenchRecord mirrors cmd/benchjson's benchmark record shape, so a ttcload
+// artifact can be diffed by the same tooling as BENCH_PR.json.
+type BenchRecord struct {
+	Package    string             `json:"package,omitempty"`
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report is a load run's result document. Count/Benchmarks follow the
+// benchjson schema (one record per endpoint) so BENCH_PR.json tooling can
+// consume the artifact directly; Endpoints carries the richer per-endpoint
+// detail including the raw histogram.
+type Report struct {
+	Target      string          `json:"target"`
+	WallSeconds float64         `json:"wallSeconds"`
+	Readers     int             `json:"readers"`
+	UpdateRate  float64         `json:"updateRate"`
+	UpdateWait  bool            `json:"updateWait"`
+	Endpoints   []EndpointStats `json:"endpoints"`
+	Count       int             `json:"count"`
+	Benchmarks  []BenchRecord   `json:"benchmarks"`
+}
+
+func buildReport(cfg Config, wall time.Duration, tallies map[string]*endpointTally) *Report {
+	rep := &Report{
+		Target:      cfg.BaseURL,
+		WallSeconds: wall.Seconds(),
+		Readers:     cfg.Readers,
+		UpdateRate:  cfg.UpdateRate,
+		UpdateWait:  cfg.UpdateWait,
+	}
+	names := make([]string, 0, len(tallies))
+	for name := range tallies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := tallies[name]
+		t.mu.Lock()
+		h := t.hist
+		errs := t.errors
+		t.mu.Unlock()
+		loop := "closed"
+		if name == "update" {
+			loop = "open"
+		}
+		es := EndpointStats{
+			Endpoint:  name,
+			Loop:      loop,
+			Count:     h.Count(),
+			Errors:    errs,
+			OpsPerSec: float64(h.Count()) / wall.Seconds(),
+			MeanNs:    int64(h.Mean()),
+			P50Ns:     h.Quantile(0.50),
+			P90Ns:     h.Quantile(0.90),
+			P99Ns:     h.Quantile(0.99),
+			P999Ns:    h.Quantile(0.999),
+			MaxNs:     h.Max(),
+			Histogram: h.Buckets(),
+		}
+		rep.Endpoints = append(rep.Endpoints, es)
+		rep.Benchmarks = append(rep.Benchmarks, BenchRecord{
+			Package:    "repro/cmd/ttcload",
+			Name:       "Load/" + name,
+			Iterations: int64(es.Count),
+			Metrics: map[string]float64{
+				"p50-ns":  float64(es.P50Ns),
+				"p90-ns":  float64(es.P90Ns),
+				"p99-ns":  float64(es.P99Ns),
+				"p999-ns": float64(es.P999Ns),
+				"max-ns":  float64(es.MaxNs),
+				"mean-ns": float64(es.MeanNs),
+				"ops/s":   es.OpsPerSec,
+				"errors":  float64(es.Errors),
+			},
+		})
+	}
+	rep.Count = len(rep.Benchmarks)
+	return rep
+}
+
+// Print renders the human-readable summary table.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "target %s: %.1fs of traffic (%d readers, %.1f updates/s, wait=%v)\n",
+		r.Target, r.WallSeconds, r.Readers, r.UpdateRate, r.UpdateWait)
+	fmt.Fprintf(w, "%-10s %8s %6s %9s %10s %10s %10s %10s %10s\n",
+		"endpoint", "count", "errs", "ops/s", "p50", "p90", "p99", "p99.9", "max")
+	for _, e := range r.Endpoints {
+		fmt.Fprintf(w, "%-10s %8d %6d %9.1f %10s %10s %10s %10s %10s\n",
+			e.Endpoint, e.Count, e.Errors, e.OpsPerSec,
+			fmtNs(e.P50Ns), fmtNs(e.P90Ns), fmtNs(e.P99Ns), fmtNs(e.P999Ns), fmtNs(e.MaxNs))
+	}
+}
+
+func fmtNs(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

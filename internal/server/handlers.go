@@ -49,6 +49,53 @@ type queryResponse struct {
 	AsOf    time.Time `json:"asOf"`
 }
 
+// engineCacheIdx maps an engine key to its slot in Snapshot.respCache, or
+// -1 for a key without a slot — a future engine added to the routes but
+// not here must bypass the cache, never silently share another engine's
+// slot (and serve its cached body).
+func engineCacheIdx(engine string) int {
+	switch engine {
+	case EngineQ1:
+		return 0
+	case EngineQ2:
+		return 1
+	case EngineQ2CC:
+		return 2
+	default:
+		return -1
+	}
+}
+
+// queryBody returns the marshaled response body for one query endpoint,
+// served from the snapshot's epoch cache: repeated reads between commits
+// cost zero JSON encodes and zero per-request allocations beyond the
+// ResponseWriter itself.
+func (snap *Snapshot) queryBody(query, engine string) []byte {
+	idx := engineCacheIdx(engine)
+	if idx >= 0 {
+		if b := snap.respCache[idx].Load(); b != nil {
+			return *b
+		}
+	}
+	b, err := json.Marshal(queryResponse{
+		Query:   query,
+		Engine:  engine,
+		Result:  snap.Results[engine],
+		Seq:     snap.Seq,
+		Changes: snap.Changes,
+		AsOf:    snap.At,
+	})
+	if err != nil {
+		// Unreachable for this struct; keep the contract total anyway.
+		b = []byte(`{"error":"encode failed"}`)
+	}
+	b = append(b, '\n')
+	if idx >= 0 {
+		snap.respCache[idx].Store(&b)
+	}
+	return b
+}
+
 func (s *Server) handleQuery(query, key string) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {
@@ -68,14 +115,9 @@ func (s *Server) handleQuery(query, key string) http.HandlerFunc {
 			}
 		}
 		snap := s.Snapshot()
-		writeJSON(w, http.StatusOK, queryResponse{
-			Query:   query,
-			Engine:  engine,
-			Result:  snap.Results[engine],
-			Seq:     snap.Seq,
-			Changes: snap.Changes,
-			AsOf:    snap.At,
-		})
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(snap.queryBody(query, engine))
 	}
 }
 
@@ -323,6 +365,19 @@ type persistStatsJSON struct {
 	SnapshotErrors  int        `json:"snapshotErrors"`
 	TrimmedSegments int64      `json:"trimmedSegments"`
 
+	// Streaming-snapshot health: whether a background encode is in flight
+	// right now, how long the writer was last (and at worst ever) paused
+	// on snapshot work — the O(1) view handoff or a copy-on-write clone,
+	// or the full inline encode under BlockingSnapshots — and how many
+	// encodes streamed, cadence points were skipped because one was still
+	// in flight, and edge-array COW clones removal batches forced.
+	SnapshotInProgress  bool  `json:"snapshotInProgress"`
+	LastSnapshotStallNs int64 `json:"lastSnapshotStallNs"`
+	MaxSnapshotStallNs  int64 `json:"maxSnapshotStallNs"`
+	StreamedSnapshots   int   `json:"streamedSnapshots"`
+	SkippedSnapshots    int   `json:"skippedSnapshots"`
+	CowClones           int   `json:"cowClones"`
+
 	// Change-key compaction of sealed WAL segments (ttcserve
 	// -compact-every; see internal/wal).
 	Compactions      int64 `json:"compactions"`
@@ -391,6 +446,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snapErrs := s.snapErrs
 	lastCompaction := s.lastCompaction
 	compactErrs := s.compactErrs
+	lastSnapStall := s.lastSnapStall
+	maxSnapStall := s.maxSnapStall
+	snapStreams := s.snapStreams
+	snapSkips := s.snapSkips
+	cowClones := s.cowClones
 	s.mu.Unlock()
 
 	resp := statsResponse{
@@ -435,26 +495,32 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.wal != nil {
 		wm := s.wal.Metrics()
 		p := &persistStatsJSON{
-			Dir:              s.cfg.PersistDir,
-			Fsync:            s.cfg.Fsync.String(),
-			WalAppends:       wm.Appends,
-			WalBytes:         wm.AppendedBytes,
-			WalFsyncs:        wm.Fsyncs,
-			WalRotations:     wm.Rotations,
-			WalSegments:      wm.Segments,
-			WalLastSeq:       s.wal.LastSeq(),
-			WalSyncErrors:    wm.SyncErrors,
-			Snapshots:        wm.Snapshots,
-			SnapshotBytes:    wm.SnapshotBytes,
-			LastSnapshotSeq:  wm.LastSnapSeq,
-			LastSnapshotMs:   durationMS(lastSnapDur),
-			SnapshotErrors:   snapErrs,
-			TrimmedSegments:  wm.TrimmedSegs,
-			Compactions:      wm.Compactions,
-			CompactedSegs:    wm.CompactedSegs,
-			CompactedBytes:   wm.CompactedBytes,
-			CompactionErrors: compactErrs,
-			Recovered:        s.recovered,
+			Dir:                 s.cfg.PersistDir,
+			Fsync:               s.cfg.Fsync.String(),
+			WalAppends:          wm.Appends,
+			WalBytes:            wm.AppendedBytes,
+			WalFsyncs:           wm.Fsyncs,
+			WalRotations:        wm.Rotations,
+			WalSegments:         wm.Segments,
+			WalLastSeq:          s.wal.LastSeq(),
+			WalSyncErrors:       wm.SyncErrors,
+			Snapshots:           wm.Snapshots,
+			SnapshotBytes:       wm.SnapshotBytes,
+			LastSnapshotSeq:     wm.LastSnapSeq,
+			LastSnapshotMs:      durationMS(lastSnapDur),
+			SnapshotErrors:      snapErrs,
+			TrimmedSegments:     wm.TrimmedSegs,
+			SnapshotInProgress:  s.snapInProgress.Load(),
+			LastSnapshotStallNs: lastSnapStall.Nanoseconds(),
+			MaxSnapshotStallNs:  maxSnapStall.Nanoseconds(),
+			StreamedSnapshots:   snapStreams,
+			SkippedSnapshots:    snapSkips,
+			CowClones:           cowClones,
+			Compactions:         wm.Compactions,
+			CompactedSegs:       wm.CompactedSegs,
+			CompactedBytes:      wm.CompactedBytes,
+			CompactionErrors:    compactErrs,
+			Recovered:           s.recovered,
 		}
 		if lastCompaction != nil {
 			lc := *lastCompaction
@@ -478,6 +544,12 @@ type healthResponse struct {
 	Reason string `json:"reason,omitempty"`
 	// Seq is the last committed batch visible to readers.
 	Seq int `json:"seq"`
+	// SnapshotInProgress reports an in-flight durable snapshot encode —
+	// including the final one a shutting-down server drains — so
+	// orchestrators can distinguish "ready and idle" from "ready but
+	// snapshotting" (e.g. to delay a rolling restart rather than treat a
+	// final-snapshot drain as a healthy routing target).
+	SnapshotInProgress bool `json:"snapshotInProgress"`
 }
 
 // handleHealthz splits liveness from readiness. The default (readiness)
@@ -492,13 +564,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	seq := s.Snapshot().Seq
+	snapping := s.snapInProgress.Load()
 	if r.URL.Query().Get("probe") == "live" {
-		writeJSON(w, http.StatusOK, healthResponse{Status: "live", Seq: seq})
+		writeJSON(w, http.StatusOK, healthResponse{Status: "live", Seq: seq, SnapshotInProgress: snapping})
 		return
 	}
 	if err := s.brokenErr(); err != nil {
 		writeJSON(w, http.StatusServiceUnavailable, healthResponse{
-			Status: "broken", Reason: err.Error(), Seq: seq,
+			Status: "broken", Reason: err.Error(), Seq: seq, SnapshotInProgress: snapping,
 		})
 		return
 	}
@@ -508,11 +581,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			s.replayDone, s.replayTotal)
 		s.mu.Unlock()
 		writeJSON(w, http.StatusServiceUnavailable, healthResponse{
-			Status: "recovering", Reason: reason, Seq: seq,
+			Status: "recovering", Reason: reason, Seq: seq, SnapshotInProgress: snapping,
 		})
 		return
 	}
-	writeJSON(w, http.StatusOK, healthResponse{Status: "ready", Seq: seq})
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ready", Seq: seq, SnapshotInProgress: snapping})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -95,6 +95,18 @@ type Config struct {
 	// 4 MiB). A tuning/testing knob: compaction only ever works on sealed
 	// segments, so tests use small segments to exercise it.
 	SegmentBytes int64
+	// BlockingSnapshots restores the pre-streaming snapshot path: the
+	// writer encodes and fsyncs the whole image inline, stalling the queue
+	// for the duration. Kept so BenchmarkSnapshotStall can measure the
+	// stall the streaming encoder removes; production wants the default
+	// (false = copy-on-write handoff to a background encoder).
+	BlockingSnapshots bool
+
+	// snapshotChunkBytes overrides the streaming encoder's chunk size and
+	// snapshotChunkHook observes every flushed chunk — test hooks (same
+	// package only) for pinning down encode/commit interleavings.
+	snapshotChunkBytes int
+	snapshotChunkHook  func(written int)
 }
 
 func (c Config) withDefaults() Config {
@@ -207,9 +219,21 @@ type Server struct {
 	recovered bool
 	// ready flips to true once startup WAL replay (if any) has committed;
 	// /healthz serves 503 until then.
-	ready    atomic.Bool
-	durOnce  sync.Once // final snapshot + WAL close (Close and crash paths)
-	lastSnap int       // seq of the last durable snapshot this process wrote
+	ready   atomic.Bool
+	durOnce sync.Once // final snapshot + WAL close (Close and crash paths)
+
+	// Streaming-snapshot state. snapInProgress is set for the lifetime of a
+	// background encode (and the final shutdown snapshot) — /stats and
+	// /healthz report it so orchestrators can see a snapshot-draining
+	// server. snapAbort tells the encoder's next chunk to abandon the write
+	// (crash simulation). snapDone and cowPending are writer-owned:
+	// snapDone is the in-flight encode's completion channel, cowPending
+	// marks that the encoder's view still shares the edge arrays with curr,
+	// so a removal batch must detach (clone) them before applying.
+	snapInProgress atomic.Bool
+	snapAbort      atomic.Bool
+	snapDone       chan struct{}
+	cowPending     bool
 
 	mu      sync.Mutex // guards closing, broken, phases
 	closing bool
@@ -230,13 +254,27 @@ type Server struct {
 	// connected-components extension disagreed — continuous cross-
 	// validation in the spirit of ttcvalidate; anything nonzero is a bug.
 	q2Disagreements int
-	// recovery, replayDone/replayTotal, lastSnapDur and snapErrs are the
-	// durability bookkeeping /stats and /healthz report (guarded by mu).
+	// recovery, replayDone/replayTotal, lastSnap (seq of the last durable
+	// snapshot this process wrote — updated by the background encoder, so
+	// mu-guarded), lastSnapDur and snapErrs are the durability bookkeeping
+	// /stats and /healthz report (guarded by mu).
 	recovery    recoveryStats
 	replayDone  int
 	replayTotal int
+	lastSnap    int
 	lastSnapDur time.Duration
 	snapErrs    int
+	// Streaming-snapshot counters (guarded by mu): lastSnapStall/
+	// maxSnapStall record how long the writer was actually paused on
+	// snapshot work (the O(1) view handoff, a copy-on-write clone, or —
+	// under BlockingSnapshots — the whole encode); snapStreams/snapSkips
+	// count background encodes started and cadence points skipped because
+	// one was still in flight; cowClones counts edge-array detaches.
+	lastSnapStall time.Duration
+	maxSnapStall  time.Duration
+	snapStreams   int
+	snapSkips     int
+	cowClones     int
 	// lastCompaction is the most recent WAL compaction pass's report (nil
 	// until a pass completes — /stats gates on the report itself, not the
 	// WAL's pass counter, which increments before the report is stored);
@@ -268,10 +306,11 @@ func New(cfg Config) (*Server, error) {
 	)
 	if cfg.PersistDir != "" {
 		wlog, rec, err = wal.Open(wal.Options{
-			Dir:          cfg.PersistDir,
-			Sync:         cfg.Fsync,
-			SyncInterval: cfg.FsyncInterval,
-			SegmentBytes: cfg.SegmentBytes,
+			Dir:                cfg.PersistDir,
+			Sync:               cfg.Fsync,
+			SyncInterval:       cfg.FsyncInterval,
+			SegmentBytes:       cfg.SegmentBytes,
+			SnapshotChunkBytes: cfg.snapshotChunkBytes,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: open wal: %w", err)
@@ -452,24 +491,41 @@ func (s *Server) Close() {
 }
 
 // closeDurable finishes the durability subsystem exactly once: a graceful
-// close writes a final snapshot (so the next start replays nothing) and
-// fsyncs the WAL; an abrupt one just drops the file handles. The final
-// snapshot is skipped when the engines are broken — the materialized state
-// may then be ahead of the published seq, and the WAL alone is the truth.
+// close drains any in-flight background encode, writes a final snapshot
+// (so the next start replays nothing) and fsyncs the WAL; an abrupt one
+// aborts the encode at its next chunk (dropping the temp file, exactly as
+// a crash would) and drops the file handles. The final snapshot is skipped
+// when the engines are broken — the materialized state may then be ahead
+// of the published seq, and the WAL alone is the truth.
+//
+// Both paths run after the writer goroutine has exited (Close/crash wait
+// on writerDone first), so reading the writer-owned snapDone handle and
+// passing s.curr to a synchronous encode are race-free.
 func (s *Server) closeDurable(graceful bool) {
 	if s.wal == nil {
 		return
 	}
 	s.durOnce.Do(func() {
 		if graceful {
+			s.waitSnapshot()
 			if s.brokenErr() == nil && s.ready.Load() {
-				s.snapshotDurable(s.snap.Load().Seq)
+				s.snapshotFinal(s.snap.Load().Seq)
 			}
 			_ = s.wal.Close()
 		} else {
+			s.snapAbort.Store(true)
+			s.waitSnapshot()
 			s.wal.Abandon()
 		}
 	})
+}
+
+// waitSnapshot blocks until the in-flight background snapshot encode (if
+// any) has finished or aborted.
+func (s *Server) waitSnapshot() {
+	if s.snapDone != nil {
+		<-s.snapDone
+	}
 }
 
 // crash simulates an abrupt process death, for recovery tests: the writer

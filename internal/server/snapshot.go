@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -35,6 +36,16 @@ type Snapshot struct {
 	Engines map[string]core.EngineStats
 	// At is the publication time.
 	At time.Time
+
+	// respCache holds the lazily marshaled /query response body, one slot
+	// per engine key — the epoch cache of the read hot path. A published
+	// Snapshot is immutable, so the first read of each engine between
+	// commits pays the JSON encode and every subsequent read is a plain
+	// byte write; the next commit publishes a fresh Snapshot, which
+	// invalidates the cache by construction (the commit sequence is the
+	// epoch). Concurrent first readers may race to fill a slot; they
+	// marshal identical bytes, so last-store-wins is harmless.
+	respCache [3]atomic.Pointer[[]byte]
 }
 
 // refState is the writer's referential-integrity view of the committed

@@ -135,6 +135,12 @@ type Runtime struct {
 	rebalances     int
 	parkedComments int
 
+	// merge is the reusable top-k heap Results folds the per-shard answers
+	// through — one commit-path merge per engine per commit, so a fresh
+	// allocation each round is pure garbage. Owned by the committing
+	// goroutine (the only caller of Results).
+	merge *core.MergedTopK
+
 	closeOnce sync.Once
 }
 
@@ -160,6 +166,7 @@ func New(n int, snap *model.Snapshot) (*Runtime, error) {
 		lastStats:      make([]map[string]core.EngineStats, n),
 		meta:           make([]Stats, n),
 		parkedComments: len(router.parked),
+		merge:          core.NewMergedTopK(core.TopK),
 	}
 	for s := 0; s < n; s++ {
 		w := &worker{id: s, cmds: make(chan command, 1), done: make(chan struct{})}
@@ -441,14 +448,14 @@ func (rt *Runtime) Results() map[string]string {
 	defer rt.mu.Unlock()
 	out := make(map[string]string)
 	for _, e := range servedEngines() {
-		m := core.NewMergedTopK(core.TopK)
+		rt.merge.Reset()
 		if e.Query == "Q2" {
-			m.Merge(parked)
+			rt.merge.Merge(parked)
 		}
 		for s := 0; s < rt.n; s++ {
-			m.Merge(rt.last[s][e.Key])
+			rt.merge.Merge(rt.last[s][e.Key])
 		}
-		out[e.Key] = m.Result().String()
+		out[e.Key] = rt.merge.Result().String()
 	}
 	return out
 }

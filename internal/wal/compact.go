@@ -60,8 +60,13 @@ type CompactionReport struct {
 // Compact rewrites the log's sealed segments under change-key supersession.
 // It must be called from the committing goroutine (the one calling Append
 // and WriteSnapshot); appends to the active segment continue unaffected, as
-// sealed segments are immutable until trimmed or compacted.
+// sealed segments are immutable until trimmed or compacted. The pass holds
+// maintMu throughout so a background snapshot completing mid-pass cannot
+// trim a sealed segment out from under the rewrite (the swap would
+// resurrect the deleted file and tear a hole recovery refuses).
 func (l *Log) Compact() (CompactionReport, error) {
+	l.maintMu.Lock()
+	defer l.maintMu.Unlock()
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()

@@ -210,11 +210,20 @@ func decodePayload(p []byte) (Batch, error) {
 	return b, nil
 }
 
+// fillFrameHeader writes the length/CRC header over buf's first
+// recHeaderSize bytes, framing the payload that follows them — the single
+// definition of the record frame layout (Append's pooled-buffer path and
+// frameRecord both go through it).
+func fillFrameHeader(buf []byte) {
+	payload := buf[recHeaderSize:]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.Checksum(payload, castagnoli))
+}
+
 // frameRecord wraps a payload in the length/CRC header.
 func frameRecord(payload []byte) []byte {
 	out := make([]byte, recHeaderSize+len(payload))
-	binary.LittleEndian.PutUint32(out[0:4], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(out[4:8], crc32.Checksum(payload, castagnoli))
 	copy(out[recHeaderSize:], payload)
+	fillFrameHeader(out)
 	return out
 }

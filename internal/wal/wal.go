@@ -98,6 +98,10 @@ type Options struct {
 	// SegmentBytes rotates the active segment once it exceeds this size.
 	// Default 4 MiB.
 	SegmentBytes int64
+	// SnapshotChunkBytes bounds the streaming snapshot encoder's in-memory
+	// buffer: WriteSnapshotStream flushes a CRC-framed chunk whenever the
+	// buffer reaches this size. Default 256 KiB.
+	SnapshotChunkBytes int
 }
 
 func (o Options) withDefaults() Options {
@@ -108,6 +112,15 @@ func (o Options) withDefaults() Options {
 		// A non-positive threshold would rotate after every append — one
 		// segment file (and directory fsync) per batch; treat it as unset.
 		o.SegmentBytes = 4 << 20
+	}
+	if o.SnapshotChunkBytes <= 0 {
+		o.SnapshotChunkBytes = defaultSnapChunk
+	}
+	// The decoder rejects chunks above maxSnapChunkLen; cap the configured
+	// size well below it (the encoder may overshoot the limit by one
+	// entity) so no configuration can write snapshots recovery refuses.
+	if o.SnapshotChunkBytes > maxSnapChunkLen/2 {
+		o.SnapshotChunkBytes = maxSnapChunkLen / 2
 	}
 	return o
 }
@@ -163,6 +176,16 @@ type segmentMeta struct {
 // Log is an open write-ahead log. Create with Open.
 type Log struct {
 	opt Options
+
+	// maintMu serializes the operations that restructure sealed segment
+	// *files*: a snapshot's post-write trim (which deletes sealed segments)
+	// and Compact's rewrite-then-swap. Snapshots may complete on a
+	// background goroutine while the committing goroutine runs Compact, and
+	// a trim racing a rewrite could resurrect a deleted segment (the
+	// .compact rename recreating a name the trim just removed) — tearing a
+	// hole recovery refuses. Ordering: maintMu before mu; Append never
+	// takes it, so the commit hot path is unaffected.
+	maintMu sync.Mutex
 
 	mu       sync.Mutex
 	active   *os.File
@@ -367,16 +390,38 @@ func (l *Log) createSegmentLocked(firstSeq uint64) error {
 	return nil
 }
 
+// recBufPool recycles the frame-encode buffers Append builds records in:
+// the commit hot path appends one record per batch, and without the pool
+// every commit pays two allocations (payload + frame) that die immediately
+// after the write syscall.
+var recBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4<<10)
+		return &b
+	},
+}
+
 // Append logs one committed batch. Under SyncAlways it returns only after
 // the record is fsynced — callers release commit waiters after Append, so
 // an acknowledged batch survives a crash. Sequence numbers must increase by
 // exactly 1.
 func (l *Log) Append(seq uint64, changes []model.Change) error {
-	payload, err := encodePayload(nil, seq, changes)
+	// Build the frame in a pooled buffer: header placeholder, payload,
+	// then the length/CRC backfilled over the placeholder.
+	bufp := recBufPool.Get().(*[]byte)
+	defer func() {
+		*bufp = (*bufp)[:0]
+		recBufPool.Put(bufp)
+	}()
+	var hdrZero [recHeaderSize]byte
+	buf := append((*bufp)[:0], hdrZero[:]...)
+	buf, err := encodePayload(buf, seq, changes)
 	if err != nil {
 		return err
 	}
-	rec := frameRecord(payload)
+	fillFrameHeader(buf)
+	rec := buf
+	*bufp = buf
 
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -490,6 +535,14 @@ func (l *Log) WriteSnapshot(seq, meta uint64, s *model.Snapshot) error {
 		_ = os.Remove(tmp)
 		return err
 	}
+	return l.finalizeSnapshot(tmp, final, seq, int64(len(data)))
+}
+
+// finalizeSnapshot renames an fsynced snapshot temp file into place,
+// fsyncs the directory, and records the metrics + retention bookkeeping —
+// the shared tail of both snapshot writers, so the v1 and v2 paths cannot
+// drift on the visibility/trim discipline.
+func (l *Log) finalizeSnapshot(tmp, final string, seq uint64, size int64) error {
 	if err := os.Rename(tmp, final); err != nil {
 		return fmt.Errorf("wal: snapshot rename: %w", err)
 	}
@@ -497,14 +550,64 @@ func (l *Log) WriteSnapshot(seq, meta uint64, s *model.Snapshot) error {
 		return err
 	}
 
+	l.maintMu.Lock()
+	defer l.maintMu.Unlock()
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.metrics.Snapshots++
-	l.metrics.SnapshotBytes = int64(len(data))
+	l.metrics.SnapshotBytes = size
 	l.metrics.LastSnapSeq = seq
 	l.trimLocked(seq)
 	return nil
 }
+
+// WriteSnapshotStream persists the model state at seq like WriteSnapshot,
+// but in the chunked version-2 format, encoding straight to the temp file
+// through a bounded buffer (Options.SnapshotChunkBytes) instead of
+// materializing the whole image. It is safe to call concurrently with
+// Append — the snapshot writes to its own file and only takes the log's
+// lock for the final metrics/trim bookkeeping — which is what lets a
+// serving writer hand a copy-on-write view to a background goroutine and
+// keep committing while the encode is in flight.
+//
+// onChunk, when non-nil, is invoked after every flushed chunk with the
+// bytes written so far; returning a non-nil error aborts the write (the
+// temp file is removed, nothing is renamed into place) and is returned
+// wrapped in ErrSnapshotAborted when it is that sentinel.
+func (l *Log) WriteSnapshotStream(seq, meta uint64, view *model.Snapshot, onChunk func(written int) error) error {
+	final := filepath.Join(l.opt.Dir, snapshotName(seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	abort := func(err error) error {
+		f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := encodeSnapshotStream(f, seq, meta, view, l.opt.SnapshotChunkBytes, onChunk); err != nil {
+		return abort(err)
+	}
+	if err := f.Sync(); err != nil {
+		return abort(fmt.Errorf("wal: %w", err))
+	}
+	st, err := f.Stat()
+	if err != nil {
+		return abort(fmt.Errorf("wal: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: %w", err)
+	}
+	return l.finalizeSnapshot(tmp, final, seq, st.Size())
+}
+
+// ErrSnapshotAborted is the conventional error an onChunk callback returns
+// to cancel an in-flight WriteSnapshotStream (e.g. on shutdown): the write
+// is abandoned cleanly and the caller can distinguish cancellation from a
+// real failure.
+var ErrSnapshotAborted = errors.New("wal: snapshot aborted")
 
 // trimLocked deletes snapshots older than the two newest, then sealed
 // segments no retained snapshot could ever need. Because recovery falls
